@@ -1,0 +1,45 @@
+"""Figure 3 regeneration: compressed size vs number of sub-sequences.
+
+Asserts the paper's monotone size growth with partition count and
+times the Conventional encoder at each partitioning level.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import ConventionalCodec
+from repro.experiments import figure3
+
+PARTITIONS = [1, 16, 2176]
+
+
+@pytest.fixture(scope="module")
+def figure3_result():
+    return figure3.run(profile="ci")
+
+
+def test_figure3_shape(figure3_result):
+    """More sub-sequences -> strictly larger files (paper Fig. 3)."""
+    sizes = figure3_result.sizes
+    assert sizes[0] < sizes[1] < sizes[2]
+    # The 2176-way variation must dominate the 16-way overhead by far.
+    d16 = sizes[1] - sizes[0]
+    d2176 = sizes[2] - sizes[0]
+    assert d2176 > 20 * d16
+
+
+def test_figure3_report(figure3_result, capsys):
+    print()
+    print(figure3_result.table)
+    assert figure3_result.table.rows
+
+
+@pytest.mark.parametrize("partitions", PARTITIONS)
+def test_bench_conventional_encode(
+    benchmark, bench_bytes, bench_provider, partitions
+):
+    """Time Conventional encoding at each Figure-3 partition count."""
+    codec = ConventionalCodec(bench_provider)
+    blob = benchmark(codec.compress, bench_bytes, partitions)
+    assert len(blob) > 0

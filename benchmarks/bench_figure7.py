@@ -1,0 +1,117 @@
+"""Figure 7 regeneration: decode throughput on device profiles.
+
+Runs the real decode work for each variation, asserts the paper's
+throughput *ordering* (Recoil ≈ Conventional ≫ Single-Thread on CPU;
+both ≫ multians on GPU; multians collapses at n=16), and times the
+actual Python lane-engine decodes with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import ConventionalCodec
+from repro.core import RecoilCodec, parse_container
+from repro.core.decoder import RecoilDecoder
+from repro.experiments import figure7
+from repro.tans import MultiansCodec, TansTable
+
+DATASETS = ["rand_100", "enwik8"]
+
+
+@pytest.fixture(scope="module")
+def fig7_n11():
+    return figure7.run(11, profile="ci", datasets=DATASETS)
+
+
+@pytest.fixture(scope="module")
+def fig7_n16():
+    return figure7.run(
+        16, profile="ci", datasets=DATASETS, multians_decode_cap=200_000
+    )
+
+
+def test_cpu_ordering(fig7_n11):
+    """Conventional ≈ Recoil ≫ Single-Thread, per dataset (CPU)."""
+    for name in DATASETS:
+        st = fig7_n11.series("Single-Thread AVX512", "cpu")[name]
+        conv = fig7_n11.series("Conventional AVX512", "cpu")[name]
+        rec = fig7_n11.series("Recoil AVX512", "cpu")[name]
+        assert conv > 5 * st, name
+        assert rec > 5 * st, name
+        assert abs(rec - conv) / conv < 0.25, name  # "comparable"
+
+
+def test_avx512_beats_avx2(fig7_n11):
+    for name in DATASETS:
+        assert (
+            fig7_n11.series("Recoil AVX512", "cpu")[name]
+            > fig7_n11.series("Recoil AVX2", "cpu")[name]
+        )
+
+
+def test_gpu_ordering(fig7_n11):
+    """Recoil and Conventional far outperform multians on GPU."""
+    for name in DATASETS:
+        mult = fig7_n11.series("multians", "gpu")[name]
+        conv = fig7_n11.series("Conventional CUDA", "gpu")[name]
+        rec = fig7_n11.series("Recoil CUDA", "gpu")[name]
+        assert conv > 3 * mult, name
+        assert rec > 3 * mult, name
+
+
+def test_multians_collapses_at_n16(fig7_n11, fig7_n16):
+    """The n=16 state count destroys multians throughput (Fig. 7)."""
+    for name in DATASETS:
+        n11 = fig7_n11.series("multians", "gpu")[name]
+        n16 = fig7_n16.series("multians", "gpu")[name]
+        assert n16 < 0.5 * n11, (name, n11, n16)
+
+
+def test_figure7_report(fig7_n11):
+    print()
+    print(fig7_n11.cpu_table)
+    print()
+    print(fig7_n11.gpu_table)
+
+
+# ---------------------------------------------------------------------------
+# Wall-clock benchmarks of the actual Python decoders.
+# ---------------------------------------------------------------------------
+
+
+def test_bench_recoil_decode_batched(benchmark, bench_bytes, bench_provider):
+    """The massively-batched lane engine (GPU-analog) decode."""
+    codec = RecoilCodec(bench_provider)
+    blob = codec.compress(bench_bytes, 512)
+    out = benchmark(codec.decompress, blob)
+    assert np.array_equal(out, bench_bytes)
+
+
+def test_bench_recoil_decode_16way(benchmark, bench_bytes, bench_provider):
+    """CPU-small-variation decode (16 threads)."""
+    codec = RecoilCodec(bench_provider)
+    blob = codec.shrink(codec.compress(bench_bytes, 512), 16)
+    out = benchmark(codec.decompress, blob)
+    assert np.array_equal(out, bench_bytes)
+
+
+def test_bench_conventional_decode(benchmark, bench_bytes, bench_provider):
+    codec = ConventionalCodec(bench_provider)
+    blob = codec.compress(bench_bytes, 16)
+    out = benchmark(codec.decompress, blob)
+    assert np.array_equal(out, bench_bytes)
+
+
+def test_bench_multians_decode(benchmark, bench_rand):
+    table = TansTable.from_data(bench_rand, 12, alphabet_size=256)
+    mc = MultiansCodec(table)
+    blob = mc.compress(bench_rand[:150_000])
+
+    def decode():
+        out, _ = mc.decompress(blob, num_threads=32)
+        return out
+
+    out = benchmark(decode)
+    assert np.array_equal(out, bench_rand[:150_000])

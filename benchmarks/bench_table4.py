@@ -1,0 +1,56 @@
+"""Table 4 regeneration: baseline (a) compressed sizes per dataset.
+
+Checks the compressibility ladder of the dataset registry against the
+paper's ordering and times the Single-Thread baseline encode/decode.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import SingleThreadCodec
+from repro.data import load_dataset
+from repro.experiments import table4
+
+
+@pytest.fixture(scope="module")
+def table4_result():
+    return table4.run(profile="ci")
+
+
+def test_table4_compressibility_ladder(table4_result):
+    """rand_10 > rand_50 > ... > rand_500 compressed sizes (Table 4)."""
+    rows = table4_result.rows
+    sizes = [rows[f"rand_{l}"]["n11"] for l in (10, 50, 100, 200, 500)]
+    assert sizes == sorted(sizes, reverse=True)
+
+
+def test_table4_text_ratios(table4_result):
+    """Text surrogates land near the paper's compressed ratios."""
+    rows = table4_result.rows
+    for name, paper_ratio in [
+        ("dickens", 0.615), ("webster", 0.660),
+        ("enwik8", 0.661), ("enwik9", 0.673),
+    ]:
+        ratio = rows[name]["n11"] / rows[name]["uncompressed"]
+        assert abs(ratio - paper_ratio) < 0.05, (name, ratio)
+
+
+def test_table4_report(table4_result):
+    print()
+    print(table4_result.table)
+    assert len(table4_result.rows) == 12
+
+
+def test_bench_single_thread_compress(benchmark, bench_bytes, bench_provider):
+    codec = SingleThreadCodec(bench_provider)
+    blob = benchmark(codec.compress, bench_bytes)
+    assert len(blob) < len(bench_bytes)
+
+
+def test_bench_single_thread_decompress(benchmark, bench_bytes, bench_provider):
+    codec = SingleThreadCodec(bench_provider)
+    blob = codec.compress(bench_bytes)
+    out = benchmark(codec.decompress, blob)
+    assert np.array_equal(out, bench_bytes)

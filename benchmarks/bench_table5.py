@@ -1,0 +1,88 @@
+"""Table 5 regeneration (n=11): variation size deltas + shrink timing.
+
+Asserts the paper's §5.2 claims on a dataset subset and times the
+server-side operations: Recoil encode-with-metadata and the real-time
+split combining (which the paper requires to be lightweight enough to
+run per request).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import RecoilCodec, recoil_shrink
+from repro.experiments import tables56
+from repro.experiments.common import build_variations
+
+DATASETS = ["rand_100", "rand_500", "dickens", "enwik8"]
+
+
+@pytest.fixture(scope="module")
+def table5_result():
+    return tables56.run(11, profile="ci", datasets=DATASETS)
+
+
+def test_recoil_beats_conventional_large(table5_result):
+    """Recoil Large (c) < Conventional Large (b) on EVERY dataset."""
+    for name, art in table5_result.artifacts.items():
+        assert art.sizes["c"] < art.sizes["b"], name
+
+
+def test_small_variants_negligible(table5_result):
+    """Small variants must stay far below the Large overheads.
+
+    The Recoil bound is looser: at CI scale the most compressible
+    dataset (rand_500) only supports a few hundred splits, shrinking
+    the Large metadata the Small cost is compared against.
+    """
+    for name, art in table5_result.artifacts.items():
+        assert art.delta("d") < 0.05 * art.delta("b"), name
+        assert art.delta("e") < 0.12 * art.delta("c"), name
+
+
+def test_recoil_small_beats_conventional_small(table5_result):
+    for name, art in table5_result.artifacts.items():
+        assert art.sizes["e"] <= art.sizes["d"], name
+
+
+def test_overhead_grows_with_compressibility(table5_result):
+    """Percent overhead of (b) grows as the base size shrinks —
+    rand_500 is the paper's worst case."""
+    arts = table5_result.artifacts
+    assert (
+        arts["rand_500"].delta_percent("b")
+        > arts["rand_100"].delta_percent("b")
+        > arts["enwik8"].delta_percent("b")
+    )
+
+
+def test_table5_report(table5_result):
+    print()
+    print(table5_result.table)
+    name, saving = tables56.headline_saving(table5_result)
+    print(f"headline saving: {saving:.2f}% on {name}")
+    assert saving < 0  # serving (e) must beat serving (b)
+
+
+def test_bench_recoil_encode_large(benchmark, bench_bytes, bench_provider):
+    codec = RecoilCodec(bench_provider)
+    blob = benchmark(codec.compress, bench_bytes, 512)
+    assert len(blob) < len(bench_bytes)
+
+
+def test_bench_shrink(benchmark, bench_bytes, bench_provider):
+    """The per-request server operation: must be metadata-speed."""
+    codec = RecoilCodec(bench_provider)
+    blob = codec.compress(bench_bytes, 512)
+    small = benchmark(recoil_shrink, blob, 16)
+    assert len(small) < len(blob)
+
+
+def test_bench_build_all_variations(benchmark, bench_rand):
+    """End-to-end Table-5 row build for one dataset."""
+    art = benchmark(
+        build_variations, "rand_100", bench_rand, 11,
+        large=256, small=16, include_multians=False,
+    )
+    assert art.sizes["c"] < art.sizes["b"]

@@ -1,0 +1,71 @@
+"""Table 6 regeneration (n=16): byte + image datasets, multians dump.
+
+The n=16 specifics: image latents code adaptively; the multians
+decode-table dump balloons (2**16 states x 4 B); the rand_500 row is
+the paper's −23.41% headline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import RecoilCodec, build_container
+from repro.data import load_dataset
+from repro.experiments import tables56
+from repro.tans import TansTable
+
+DATASETS = ["rand_500", "enwik8", "div2k801", "div2k805"]
+
+
+@pytest.fixture(scope="module")
+def table6_result():
+    return tables56.run(16, profile="ci", datasets=DATASETS)
+
+
+def test_recoil_beats_conventional_on_images(table6_result):
+    for name in ("div2k801", "div2k805"):
+        art = table6_result.artifacts[name]
+        assert art.sizes["c"] < art.sizes["b"], name
+        assert art.sizes["e"] <= art.sizes["d"], name
+
+
+def test_multians_table_dump_explodes_at_n16(bench_rand):
+    """2**16-state dump is ~16x the 2**12 one (Table 6's multians pain)."""
+    t12 = TansTable.from_data(bench_rand, 12, alphabet_size=256)
+    t16 = TansTable.from_data(bench_rand, 16, alphabet_size=256)
+    assert len(t16.to_bytes()) > 14 * len(t12.to_bytes())
+    assert len(t16.to_bytes()) > 250_000  # the paper's ~256 KB uplift
+
+
+def test_headline_saving_is_on_most_compressible(table6_result):
+    name, saving = tables56.headline_saving(table6_result)
+    assert saving < 0
+    assert name == "rand_500"  # paper: −23.41% on rand_500, n=16
+
+
+def test_table6_report(table6_result):
+    print()
+    print(table6_result.table)
+
+
+def test_bench_recoil_encode_adaptive(benchmark):
+    """Time adaptive (image-latent) Recoil encoding at n=16."""
+    plane = load_dataset("div2k801", "ci")
+    codec = RecoilCodec(plane.provider)
+
+    def encode():
+        enc = codec.encode(plane.symbols, 128)
+        return build_container(enc, provider=plane.provider, embed_model=False)
+
+    blob = benchmark(encode)
+    assert len(blob) < plane.uncompressed_bytes
+
+
+def test_bench_recoil_decode_adaptive(benchmark):
+    plane = load_dataset("div2k801", "ci")
+    codec = RecoilCodec(plane.provider)
+    enc = codec.encode(plane.symbols, 128)
+    blob = build_container(enc, provider=plane.provider, embed_model=False)
+    out = benchmark(codec.decompress, blob)
+    assert np.array_equal(out, plane.symbols)

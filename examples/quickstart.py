@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Quickstart: compress, shrink, decompress.
+
+Demonstrates the three verbs of the Recoil content-delivery story on a
+synthetic payload:
+
+1. the server encodes ONCE with metadata for 256-way parallelism;
+2. per request, it shrinks the metadata to the client's capacity in
+   real time (no re-encoding — watch the payload bytes stay identical);
+3. the client decodes with its parallel capacity.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import recoil_compress, recoil_decompress, recoil_shrink
+from repro.core import parse_container
+
+rng = np.random.default_rng(7)
+# A mildly compressible payload: exponential bytes, ~2.8 bits/byte.
+data = np.minimum(np.floor(rng.exponential(2.56, 2_000_000)), 255).astype(
+    np.uint8
+)
+
+# -- 1. encode once, with headroom for a 256-way parallel decoder ------
+blob = recoil_compress(data, num_splits=256, quant_bits=11)
+parsed = parse_container(blob)
+print(f"input:            {len(data):>9,} bytes")
+print(f"container:        {len(blob):>9,} bytes "
+      f"({len(blob) / len(data):.1%})")
+print(f"payload words:    {parsed.num_words:>9,}")
+print(f"split entries:    {parsed.metadata.num_threads - 1:>9,}")
+
+# -- 2. serve a weaker client: shrink metadata, not the payload --------
+for capacity in (64, 16, 4, 1):
+    served = recoil_shrink(blob, capacity)
+    saved = len(blob) - len(served)
+    out = recoil_decompress(served)
+    assert np.array_equal(out, data)
+    print(
+        f"client with {capacity:>3} threads: served {len(served):,} bytes "
+        f"(saved {saved:,}), decode OK"
+    )
+
+# -- 3. or cap parallelism client-side ---------------------------------
+out = recoil_decompress(blob, max_parallelism=8)
+assert np.array_equal(out, data)
+print("client-side combine to 8 threads: decode OK")

@@ -1,0 +1,5 @@
+"""Shim for legacy editable installs in offline environments lacking
+the ``wheel`` package (configuration lives in pyproject.toml)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,51 @@
+"""Recoil: Parallel rANS Decoding with Decoder-Adaptive Scalability.
+
+A faithful Python reproduction of the ICPP 2023 paper by Lin,
+Arunruangsirilert, Sun, and Katto.  The package provides:
+
+- :mod:`repro.rans` — the rANS entropy-coding substrate (scalar,
+  32-way interleaved, adaptive per-index models).
+- :mod:`repro.core` — the Recoil contribution: renormalization-point
+  metadata, the split heuristic, split combining, the 3-phase parallel
+  decoder, and the container format.
+- :mod:`repro.baselines` — the Single-Thread and Conventional
+  ("partitioning symbols", DietGPU-style) baselines.
+- :mod:`repro.tans` — a tANS codec plus the *multians*
+  self-synchronizing massively parallel decoder baseline.
+- :mod:`repro.parallel` — numpy SIMD lane engine, executors, and the
+  analytical device cost model used to project CPU/GPU throughput.
+- :mod:`repro.data` — dataset generators mirroring the paper's
+  evaluation corpora.
+- :mod:`repro.experiments` — one module per paper table and figure.
+
+Quickstart::
+
+    import numpy as np
+    from repro import recoil_compress, recoil_decompress
+
+    data = np.frombuffer(b"hello recoil " * 1000, dtype=np.uint8)
+    blob = recoil_compress(data, num_splits=64)
+    out = recoil_decompress(blob, max_parallelism=8)
+    assert np.array_equal(out, data)
+"""
+
+from repro._version import __version__
+from repro.core.api import (
+    RecoilCodec,
+    recoil_compress,
+    recoil_decompress,
+    recoil_shrink,
+)
+from repro.rans.model import SymbolModel
+from repro.rans.interleaved import InterleavedEncoder, InterleavedDecoder
+
+__all__ = [
+    "__version__",
+    "RecoilCodec",
+    "recoil_compress",
+    "recoil_decompress",
+    "recoil_shrink",
+    "SymbolModel",
+    "InterleavedEncoder",
+    "InterleavedDecoder",
+]

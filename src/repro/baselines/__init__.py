@@ -1,0 +1,26 @@
+"""Baseline codecs from the paper's evaluation (§5.1).
+
+- (A) **Single-Thread**: one 32-way interleaved rANS stream, decoded
+  serially (:mod:`repro.baselines.single_thread`).
+- (B) **Conventional**: the "partitioning symbols" approach of §2.3 —
+  the input is split into P independent sub-sequences, each with its
+  own interleaved codec, merged by concatenation plus an offset table
+  (DietGPU-style) (:mod:`repro.baselines.conventional`).
+- (C) **multians** lives in :mod:`repro.tans.multians` (it is built on
+  the tANS substrate).
+
+As in the paper, (A) and (B) are built from the same building blocks
+as Recoil so comparisons isolate the algorithmic differences.
+"""
+
+from repro.baselines.conventional import (
+    ConventionalCodec,
+    ConventionalEncoded,
+)
+from repro.baselines.single_thread import SingleThreadCodec
+
+__all__ = [
+    "ConventionalCodec",
+    "ConventionalEncoded",
+    "SingleThreadCodec",
+]

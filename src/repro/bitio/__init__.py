@@ -1,0 +1,28 @@
+"""Bit-level I/O substrate.
+
+The Recoil metadata format (paper §4.3) packs difference series with a
+per-series bit width; this subpackage provides the MSB-first bit writer
+and reader used for that, plus LEB128 varints for container headers.
+"""
+
+from repro.bitio.bitwriter import BitWriter
+from repro.bitio.bitreader import BitReader
+from repro.bitio.varint import (
+    decode_uvarint,
+    decode_varint,
+    encode_uvarint,
+    encode_varint,
+    read_uvarint,
+    read_varint,
+)
+
+__all__ = [
+    "BitWriter",
+    "BitReader",
+    "encode_uvarint",
+    "decode_uvarint",
+    "encode_varint",
+    "decode_varint",
+    "read_uvarint",
+    "read_varint",
+]

@@ -1,0 +1,82 @@
+"""MSB-first bit reader, the inverse of :class:`repro.bitio.BitWriter`."""
+
+from __future__ import annotations
+
+from repro.errors import DecodeError
+
+
+class BitReader:
+    """Reads bits MSB-first from a ``bytes``-like object.
+
+    Reading past the end raises :class:`repro.errors.DecodeError`
+    rather than silently returning zeros, so corruption is detected at
+    the earliest possible point.
+    """
+
+    __slots__ = ("_data", "_pos")
+
+    def __init__(self, data: bytes, start_bit: int = 0) -> None:
+        self._data = bytes(data)
+        if start_bit < 0 or start_bit > 8 * len(self._data):
+            raise ValueError(f"start_bit {start_bit} out of range")
+        self._pos = start_bit  # absolute bit position
+
+    @property
+    def bit_position(self) -> int:
+        """Current absolute bit offset from the start of the buffer."""
+        return self._pos
+
+    @property
+    def bits_remaining(self) -> int:
+        return 8 * len(self._data) - self._pos
+
+    def read_bit(self) -> int:
+        if self._pos >= 8 * len(self._data):
+            raise DecodeError("bit reader exhausted")
+        byte = self._data[self._pos >> 3]
+        bit = (byte >> (7 - (self._pos & 7))) & 1
+        self._pos += 1
+        return bit
+
+    def read_bits(self, width: int) -> int:
+        """Read ``width`` bits as an unsigned integer (MSB first).
+
+        ``width == 0`` is allowed and returns 0 without consuming input.
+        """
+        if width < 0:
+            raise ValueError(f"width must be >= 0, got {width}")
+        if width == 0:
+            return 0
+        if width > self.bits_remaining:
+            raise DecodeError(
+                f"bit reader exhausted: need {width} bits, "
+                f"have {self.bits_remaining}"
+            )
+        pos = self._pos
+        end = pos + width
+        first_byte = pos >> 3
+        last_byte = (end - 1) >> 3
+        chunk = int.from_bytes(self._data[first_byte : last_byte + 1], "big")
+        total_bits = 8 * (last_byte - first_byte + 1)
+        chunk >>= total_bits - (end - 8 * first_byte)
+        self._pos = end
+        return chunk & ((1 << width) - 1)
+
+    def read_unary(self) -> int:
+        """Read one-bits until a zero terminator; return their count."""
+        count = 0
+        while self.read_bit():
+            count += 1
+        return count
+
+    def read_signed(self, width: int) -> int:
+        """Inverse of :meth:`BitWriter.write_signed`."""
+        negative = self.read_bit()
+        magnitude = self.read_bits(width)
+        return -magnitude if negative else magnitude
+
+    def align_to_byte(self) -> None:
+        """Skip padding bits up to the next byte boundary."""
+        rem = self._pos & 7
+        if rem:
+            self._pos += 8 - rem

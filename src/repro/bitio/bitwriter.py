@@ -1,0 +1,109 @@
+"""MSB-first bit writer.
+
+Bits are accumulated into a growing byte buffer; the first bit written
+lands in the most-significant bit of the first byte.  This matches the
+layout in paper §4.3, where a 4-bit width header is followed by packed
+fixed-width values (read back in the same order).
+"""
+
+from __future__ import annotations
+
+
+class BitWriter:
+    """Accumulates bits MSB-first and renders them as ``bytes``.
+
+    Example::
+
+        w = BitWriter()
+        w.write_bits(0b101, 3)
+        w.write_bit(1)
+        w.to_bytes()          # b'\\xb0'  (1011 0000)
+    """
+
+    __slots__ = ("_buf", "_acc", "_nbits")
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+        self._acc = 0  # bit accumulator, < 2**8 once flushed
+        self._nbits = 0  # bits currently held in _acc (0..7)
+
+    def __len__(self) -> int:
+        """Total number of bits written so far."""
+        return 8 * len(self._buf) + self._nbits
+
+    @property
+    def bit_length(self) -> int:
+        """Alias for ``len(self)``."""
+        return len(self)
+
+    @property
+    def byte_length(self) -> int:
+        """Number of bytes ``to_bytes`` would return right now."""
+        return len(self._buf) + (1 if self._nbits else 0)
+
+    def write_bit(self, bit: int) -> None:
+        """Append a single bit (0 or 1)."""
+        if bit not in (0, 1):
+            raise ValueError(f"bit must be 0 or 1, got {bit!r}")
+        self._acc = (self._acc << 1) | bit
+        self._nbits += 1
+        if self._nbits == 8:
+            self._buf.append(self._acc)
+            self._acc = 0
+            self._nbits = 0
+
+    def write_bits(self, value: int, width: int) -> None:
+        """Append ``width`` bits of ``value`` (MSB of the field first).
+
+        ``value`` must be a non-negative integer < 2**width.  A width of
+        zero is allowed and writes nothing (used for all-zero series).
+        """
+        if width < 0:
+            raise ValueError(f"width must be >= 0, got {width}")
+        if value < 0 or (width < value.bit_length()):
+            raise ValueError(f"value {value} does not fit in {width} bits")
+        if width == 0:
+            return
+        # Fast path: fill the accumulator byte-at-a-time.
+        nbits = self._nbits
+        acc = (self._acc << width) | value
+        nbits += width
+        buf = self._buf
+        while nbits >= 8:
+            nbits -= 8
+            buf.append((acc >> nbits) & 0xFF)
+        self._acc = acc & ((1 << nbits) - 1)
+        self._nbits = nbits
+
+    def write_unary(self, value: int) -> None:
+        """Append ``value`` one-bits followed by a terminating zero."""
+        if value < 0:
+            raise ValueError("unary value must be >= 0")
+        for _ in range(value):
+            self.write_bit(1)
+        self.write_bit(0)
+
+    def write_signed(self, value: int, width: int) -> None:
+        """Append a sign bit (1 = negative) then ``width`` magnitude bits."""
+        self.write_bit(1 if value < 0 else 0)
+        self.write_bits(abs(value), width)
+
+    def align_to_byte(self) -> None:
+        """Zero-pad to the next byte boundary."""
+        if self._nbits:
+            self._acc <<= 8 - self._nbits
+            self._buf.append(self._acc & 0xFF)
+            self._acc = 0
+            self._nbits = 0
+
+    def to_bytes(self) -> bytes:
+        """Render the written bits, zero-padding the final partial byte.
+
+        The writer remains usable afterwards (rendering is
+        non-destructive), but note that further writes after rendering a
+        partial byte continue from the *unpadded* position.
+        """
+        if self._nbits:
+            tail = (self._acc << (8 - self._nbits)) & 0xFF
+            return bytes(self._buf) + bytes([tail])
+        return bytes(self._buf)

@@ -1,0 +1,145 @@
+"""``recoil`` — file-level command line interface.
+
+Subcommands mirror the content-delivery workflow:
+
+- ``recoil compress IN OUT --splits 2176 --quant 11``
+- ``recoil shrink IN OUT --threads 16``  (per-request serving step)
+- ``recoil decompress IN OUT [--max-parallelism 8]``
+- ``recoil info IN``  (container inspection)
+
+Only static-model containers are supported from the CLI (adaptive
+model banks are API-level constructs carried by a host format).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro._version import __version__
+from repro.core import (
+    parse_container,
+    recoil_compress,
+    recoil_decompress,
+    recoil_shrink,
+)
+from repro.core.serialization import metadata_size_bytes
+from repro.errors import ReproError
+
+
+def _cmd_compress(args) -> int:
+    data = np.fromfile(args.input, dtype=np.uint8)
+    if data.size == 0:
+        print("error: input is empty", file=sys.stderr)
+        return 2
+    blob = recoil_compress(
+        data, num_splits=args.splits, quant_bits=args.quant
+    )
+    with open(args.output, "wb") as fh:
+        fh.write(blob)
+    ratio = len(blob) / len(data)
+    print(
+        f"{args.input}: {len(data):,} -> {len(blob):,} bytes "
+        f"({ratio:.1%}), {args.splits} splits, n={args.quant}"
+    )
+    return 0
+
+
+def _cmd_decompress(args) -> int:
+    blob = open(args.input, "rb").read()
+    out = recoil_decompress(blob, max_parallelism=args.max_parallelism)
+    out.tofile(args.output)
+    print(f"{args.input}: {len(blob):,} -> {out.nbytes:,} bytes")
+    return 0
+
+
+def _cmd_shrink(args) -> int:
+    blob = open(args.input, "rb").read()
+    small = recoil_shrink(blob, args.threads)
+    with open(args.output, "wb") as fh:
+        fh.write(small)
+    print(
+        f"{args.input}: {len(blob):,} -> {len(small):,} bytes "
+        f"(saved {len(blob) - len(small):,}) for {args.threads} threads"
+    )
+    return 0
+
+
+def _cmd_info(args) -> int:
+    blob = open(args.input, "rb").read()
+    parsed = parse_container(blob, require_model=False)
+    md = parsed.metadata
+    print(f"container:        {len(blob):,} bytes")
+    print(f"symbols:          {parsed.num_symbols:,}")
+    print(f"payload:          {2 * parsed.num_words:,} bytes "
+          f"({parsed.num_words:,} words)")
+    print(f"lanes:            {parsed.lanes}")
+    print(f"quantization:     n={parsed.quant_bits}")
+    print(f"decoder threads:  {md.num_threads}")
+    print(f"metadata:         {metadata_size_bytes(md):,} bytes")
+    if md.entries:
+        sync = md.sync_overhead_symbols()
+        print(
+            f"sync sections:    {sync:,} symbols "
+            f"({100 * sync / max(parsed.num_symbols, 1):.3f}% decode "
+            "overhead)"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="recoil",
+        description="Recoil parallel-rANS file compressor (ICPP 2023 "
+        "reproduction)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"recoil {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    c = sub.add_parser("compress", help="compress a file")
+    c.add_argument("input")
+    c.add_argument("output")
+    c.add_argument("--splits", type=int, default=256,
+                   help="max parallel decode threads to support")
+    c.add_argument("--quant", type=int, default=11,
+                   help="probability quantization level n (<=16)")
+    c.set_defaults(func=_cmd_compress)
+
+    d = sub.add_parser("decompress", help="decompress a container")
+    d.add_argument("input")
+    d.add_argument("output")
+    d.add_argument("--max-parallelism", type=int, default=None,
+                   help="combine splits client-side before decoding")
+    d.set_defaults(func=_cmd_decompress)
+
+    s = sub.add_parser("shrink", help="combine splits without re-encoding")
+    s.add_argument("input")
+    s.add_argument("output")
+    s.add_argument("--threads", type=int, required=True,
+                   help="target decoder parallelism")
+    s.set_defaults(func=_cmd_shrink)
+
+    i = sub.add_parser("info", help="inspect a container")
+    i.add_argument("input")
+    i.set_defaults(func=_cmd_info)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,26 @@
+"""Higher-level codecs composed from the Recoil core.
+
+- :mod:`repro.codecs.image_pipeline` — a complete hyperprior image
+  entropy-coding pipeline (mbt2018-mean structure): the per-symbol
+  scale field is itself entropy-coded as a Recoil stream, then used to
+  build the adaptive models for the latent stream.
+- :mod:`repro.codecs.framing` — bounded-memory multi-frame
+  compression (zstd-frame analog) where every frame is an independent
+  Recoil container.
+"""
+
+from repro.codecs.framing import (
+    FrameInfo,
+    compress_frames,
+    decompress_frames,
+    frame_info,
+)
+from repro.codecs.image_pipeline import HyperpriorImageCodec
+
+__all__ = [
+    "HyperpriorImageCodec",
+    "compress_frames",
+    "decompress_frames",
+    "frame_info",
+    "FrameInfo",
+]

@@ -1,0 +1,139 @@
+"""Multi-frame Recoil compression (bounded-memory streaming).
+
+Large inputs are compressed as a sequence of *independent* Recoil
+containers ("frames", zstd-frame analog): encoding holds one frame in
+memory at a time; frames decode independently (and in parallel at two
+levels — frames x splits).  Each frame carries its own model fitted to
+its content, so framing also gives coarse adaptivity to
+non-stationary data.
+
+Layout (``RCLF``)::
+
+    magic   b"RCLF"
+    u8      version (=1)
+    uvarint num_frames
+    repeated:
+        uvarint frame length
+        bytes   RCL1 container
+
+Frame-level shrinking applies :func:`repro.core.shrink_container` to
+every frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bitio.varint import decode_uvarint, encode_uvarint
+from repro.core.api import recoil_compress, recoil_decompress
+from repro.core.container import parse_container, shrink_container
+from repro.errors import ContainerError, EncodeError
+
+MAGIC = b"RCLF"
+VERSION = 1
+
+
+@dataclass
+class FrameInfo:
+    """Geometry of one frame inside a multi-frame blob."""
+
+    index: int
+    byte_offset: int
+    byte_length: int
+    num_symbols: int
+    num_threads: int
+
+
+def compress_frames(
+    data: np.ndarray,
+    frame_symbols: int = 4_000_000,
+    num_splits: int = 256,
+    quant_bits: int = 11,
+) -> bytes:
+    """Compress ``data`` in independent frames of ``frame_symbols``."""
+    data = np.ascontiguousarray(data)
+    if data.ndim != 1:
+        raise EncodeError("framing expects a 1-D symbol array")
+    if frame_symbols < 1:
+        raise EncodeError(f"frame_symbols must be >= 1, got {frame_symbols}")
+    frames: list[bytes] = []
+    for start in range(0, max(len(data), 1), frame_symbols):
+        chunk = data[start : start + frame_symbols]
+        if len(chunk) == 0:
+            break
+        frames.append(
+            recoil_compress(
+                chunk, num_splits=num_splits, quant_bits=quant_bits
+            )
+        )
+    out = bytearray()
+    out += MAGIC
+    out.append(VERSION)
+    out += encode_uvarint(len(frames))
+    for f in frames:
+        out += encode_uvarint(len(f))
+        out += f
+    return bytes(out)
+
+
+def _iter_frames(blob: bytes):
+    if blob[:4] != MAGIC:
+        raise ContainerError(f"bad magic {blob[:4]!r}")
+    if blob[4] != VERSION:
+        raise ContainerError(f"unsupported version {blob[4]}")
+    count, pos = decode_uvarint(blob, 5)
+    for k in range(count):
+        length, pos = decode_uvarint(blob, pos)
+        frame = blob[pos : pos + length]
+        if len(frame) != length:
+            raise ContainerError(f"truncated frame {k}")
+        yield k, pos, frame
+        pos += length
+
+
+def decompress_frames(
+    blob: bytes, max_parallelism: int | None = None
+) -> np.ndarray:
+    """Decode every frame and concatenate."""
+    parts = [
+        recoil_decompress(frame, max_parallelism=max_parallelism)
+        for _, _, frame in _iter_frames(blob)
+    ]
+    if not parts:
+        return np.empty(0, dtype=np.uint8)
+    return np.concatenate(parts)
+
+
+def frame_info(blob: bytes) -> list[FrameInfo]:
+    """Inspect a multi-frame blob without decoding payloads."""
+    infos = []
+    for k, offset, frame in _iter_frames(blob):
+        parsed = parse_container(frame, require_model=False)
+        infos.append(
+            FrameInfo(
+                index=k,
+                byte_offset=offset,
+                byte_length=len(frame),
+                num_symbols=parsed.num_symbols,
+                num_threads=parsed.metadata.num_threads,
+            )
+        )
+    return infos
+
+
+def shrink_frames(blob: bytes, target_threads: int) -> bytes:
+    """Per-request combining across every frame."""
+    frames = [
+        shrink_container(frame, target_threads)
+        for _, _, frame in _iter_frames(blob)
+    ]
+    out = bytearray()
+    out += MAGIC
+    out.append(VERSION)
+    out += encode_uvarint(len(frames))
+    for f in frames:
+        out += encode_uvarint(len(f))
+        out += f
+    return bytes(out)

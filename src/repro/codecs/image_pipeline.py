@@ -1,0 +1,193 @@
+"""Hyperprior image entropy-coding pipeline (mbt2018-mean structure).
+
+Learned image codecs transmit two entropy-coded tensors:
+
+- the **hyperprior** ``z`` — here, the per-symbol scale ids; small,
+  coded with a static model;
+- the **latents** ``y`` — the 16-bit symbols, coded *adaptively*: each
+  symbol's Gaussian is selected by the decoded hyperprior.
+
+Both streams are Recoil containers, so the whole image decodes with
+decoder-adaptive parallelism: the tiny hyperprior stream first (its
+decode yields the model ids), then the latent stream massively in
+parallel.  This is the paper's target application (§1, §5.1) realized
+end to end, and the "Recoil as drop-in within a coding format" story
+of §6.
+
+Container layout (``RIMG``)::
+
+    magic   b"RIMG"
+    u8      version (=1)
+    uvarint num_scales
+    uvarint hyper blob length     | Recoil container (static model
+    bytes   hyper blob            |   over scale ids, embedded)
+    bytes   latent blob           | Recoil container (adaptive, no
+                                  |   embedded model)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bitio.varint import decode_uvarint, encode_uvarint
+from repro.core.api import RecoilCodec
+from repro.core.container import build_container, parse_container
+from repro.core.decoder import RecoilDecoder
+from repro.core.encoder import RecoilEncoder
+from repro.errors import ContainerError, EncodeError
+from repro.rans.adaptive import GaussianModelBank, StaticModelProvider
+from repro.rans.constants import DEFAULT_LANES
+from repro.rans.model import SymbolModel
+
+MAGIC = b"RIMG"
+VERSION = 1
+
+#: Scale-id streams are small and low-entropy; n=11 is plenty.
+_HYPER_QUANT = 11
+
+
+class HyperpriorImageCodec:
+    """Two-stream (hyperprior + latents) Recoil image codec.
+
+    Parameters
+    ----------
+    bank:
+        The Gaussian model bank shared by encoder and decoder (in a
+        learned codec this is part of the trained model, not the
+        bitstream).
+    lanes:
+        Interleave width for both streams.
+    """
+
+    def __init__(
+        self, bank: GaussianModelBank, lanes: int = DEFAULT_LANES
+    ) -> None:
+        self.bank = bank
+        self.lanes = lanes
+
+    # ------------------------------------------------------------------
+
+    def compress(
+        self,
+        symbols: np.ndarray,
+        scale_ids: np.ndarray,
+        num_splits: int = 256,
+        hyper_splits: int = 16,
+    ) -> bytes:
+        """Encode latents + their hyperprior into one container."""
+        symbols = np.ascontiguousarray(symbols)
+        scale_ids = np.ascontiguousarray(scale_ids, dtype=np.int64)
+        if len(symbols) != len(scale_ids):
+            raise EncodeError(
+                f"{len(symbols)} symbols but {len(scale_ids)} scale ids"
+            )
+        n_scales = len(self.bank.scales)
+        if scale_ids.size and (
+            scale_ids.min() < 0 or scale_ids.max() >= n_scales
+        ):
+            raise EncodeError("scale id outside the bank's table")
+
+        # Hyperprior stream: the scale field is spatially smooth, so a
+        # first-order predictive transform (zigzagged deltas) removes
+        # most of its redundancy before the static entropy model —
+        # mirroring how real codecs keep z at a few percent of the
+        # total rate.
+        deltas = np.diff(scale_ids, prepend=0)
+        zz = np.where(deltas < 0, -2 * deltas - 1, 2 * deltas).astype(
+            np.int64
+        )
+        counts = np.bincount(zz, minlength=2 * n_scales + 1)
+        hyper_model = SymbolModel.from_counts(
+            np.maximum(counts, 1), _HYPER_QUANT
+        )
+        hyper_blob = RecoilCodec(hyper_model, lanes=self.lanes).compress(
+            zz, hyper_splits
+        )
+
+        # Latent stream: adaptive models keyed by the ids.
+        provider = self.bank.provider_for_ids(scale_ids)
+        latent_enc = RecoilEncoder(provider, lanes=self.lanes).encode(
+            symbols, num_splits
+        )
+        latent_blob = build_container(latent_enc, embed_model=False)
+
+        out = bytearray()
+        out += MAGIC
+        out.append(VERSION)
+        out += encode_uvarint(n_scales)
+        out += encode_uvarint(len(hyper_blob))
+        out += hyper_blob
+        out += latent_blob
+        return bytes(out)
+
+    # ------------------------------------------------------------------
+
+    def decompress(
+        self,
+        blob: bytes,
+        max_parallelism: int | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Decode; returns ``(symbols, scale_ids)``."""
+        if blob[:4] != MAGIC:
+            raise ContainerError(f"bad magic {blob[:4]!r}")
+        if blob[4] != VERSION:
+            raise ContainerError(f"unsupported version {blob[4]}")
+        pos = 5
+        n_scales, pos = decode_uvarint(blob, pos)
+        if n_scales != len(self.bank.scales):
+            raise ContainerError(
+                f"container expects a {n_scales}-scale bank, codec has "
+                f"{len(self.bank.scales)}"
+            )
+        hyper_len, pos = decode_uvarint(blob, pos)
+        hyper_blob = blob[pos : pos + hyper_len]
+        if len(hyper_blob) != hyper_len:
+            raise ContainerError("truncated hyperprior stream")
+        latent_blob = blob[pos + hyper_len :]
+
+        # Stage 1: hyperprior (static model embedded in its container);
+        # invert the zigzag-delta transform.
+        hyper = parse_container(hyper_blob)
+        zz = RecoilDecoder(hyper.provider, lanes=hyper.lanes).decode(
+            hyper.words(hyper_blob),
+            hyper.final_states,
+            hyper.metadata,
+            max_threads=max_parallelism,
+        ).symbols.astype(np.int64)
+        deltas = np.where(zz & 1, -(zz + 1) // 2, zz // 2)
+        ids = np.cumsum(deltas)
+
+        # Stage 2: latents, with models derived from the decoded ids.
+        provider = self.bank.provider_for_ids(ids)
+        latent = parse_container(latent_blob, provider=provider)
+        symbols = RecoilDecoder(provider, lanes=latent.lanes).decode(
+            latent.words(latent_blob),
+            latent.final_states,
+            latent.metadata,
+            max_threads=max_parallelism,
+        ).symbols
+        return symbols, ids
+
+    # ------------------------------------------------------------------
+
+    def shrink(self, blob: bytes, target_threads: int) -> bytes:
+        """Per-request combining for both streams (§3.3)."""
+        from repro.core.container import shrink_container
+
+        if blob[:4] != MAGIC:
+            raise ContainerError(f"bad magic {blob[:4]!r}")
+        pos = 5
+        n_scales, pos = decode_uvarint(blob, pos)
+        hyper_len, pos = decode_uvarint(blob, pos)
+        hyper_blob = blob[pos : pos + hyper_len]
+        latent_blob = blob[pos + hyper_len :]
+        hyper_small = shrink_container(hyper_blob, target_threads)
+        latent_small = shrink_container(latent_blob, target_threads)
+        out = bytearray()
+        out += MAGIC
+        out.append(VERSION)
+        out += encode_uvarint(n_scales)
+        out += encode_uvarint(len(hyper_small))
+        out += hyper_small
+        out += latent_small
+        return bytes(out)

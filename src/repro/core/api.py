@@ -1,0 +1,142 @@
+"""High-level Recoil API.
+
+The three verbs of the paper's content-delivery story:
+
+- :func:`recoil_compress` — *encode once* with metadata for the
+  maximum parallelism the server intends to support;
+- :func:`recoil_shrink` — per-request, real-time metadata reduction to
+  a client's advertised capacity (no re-encoding);
+- :func:`recoil_decompress` — massively parallel 3-phase decoding.
+
+:class:`RecoilCodec` bundles the same operations around a fixed model
+provider for repeated use (and is what the benchmarks drive).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.container import (
+    build_container,
+    parse_container,
+    shrink_container,
+)
+from repro.core.decoder import RecoilDecodeResult, RecoilDecoder
+from repro.core.encoder import RecoilEncoded, RecoilEncoder
+from repro.errors import EncodeError
+from repro.rans.adaptive import AdaptiveModelProvider, StaticModelProvider
+from repro.rans.constants import DEFAULT_LANES
+from repro.rans.model import SymbolModel
+
+
+class RecoilCodec:
+    """Recoil compressor/decompressor around one model provider."""
+
+    def __init__(
+        self,
+        provider: AdaptiveModelProvider | SymbolModel,
+        lanes: int = DEFAULT_LANES,
+    ) -> None:
+        if isinstance(provider, SymbolModel):
+            provider = StaticModelProvider(provider)
+        self.provider = provider
+        self.lanes = lanes
+        self._encoder = RecoilEncoder(provider, lanes)
+        self._decoder = RecoilDecoder(provider, lanes)
+
+    # -- encoding -------------------------------------------------------
+
+    def encode(self, data: np.ndarray, num_splits: int) -> RecoilEncoded:
+        """Encode with up to ``num_splits`` parallel decode segments."""
+        return self._encoder.encode(data, num_splits)
+
+    def compress(self, data: np.ndarray, num_splits: int) -> bytes:
+        """Encode and wrap in a container (static providers embed the
+        model; adaptive providers travel out of band)."""
+        encoded = self.encode(data, num_splits)
+        return build_container(
+            encoded,
+            provider=self.provider,
+            embed_model=self.provider.is_static,
+        )
+
+    # -- decoding -------------------------------------------------------
+
+    def decompress(
+        self, blob: bytes, max_threads: int | None = None
+    ) -> np.ndarray:
+        return self.decompress_with_stats(blob, max_threads).symbols
+
+    def decompress_with_stats(
+        self, blob: bytes, max_threads: int | None = None
+    ) -> RecoilDecodeResult:
+        parsed = parse_container(blob, provider=self.provider)
+        return self._decoder.decode(
+            parsed.words(blob),
+            parsed.final_states,
+            parsed.metadata,
+            max_threads=max_threads,
+        )
+
+    # -- serving ----------------------------------------------------------
+
+    def shrink(self, blob: bytes, target_threads: int) -> bytes:
+        """Real-time split combining before transmission (§3.3)."""
+        return shrink_container(blob, target_threads)
+
+
+# ---------------------------------------------------------------------------
+# Free functions: the one-shot convenience layer.
+# ---------------------------------------------------------------------------
+
+
+def _default_model(data: np.ndarray, quant_bits: int) -> SymbolModel:
+    data = np.asarray(data)
+    if data.size == 0:
+        raise EncodeError("cannot compress an empty sequence")
+    alphabet = 256 if int(data.max()) < 256 else 65536
+    return SymbolModel.from_data(data, quant_bits, alphabet_size=alphabet)
+
+
+def recoil_compress(
+    data: np.ndarray,
+    num_splits: int = 64,
+    quant_bits: int = 11,
+    model: SymbolModel | None = None,
+    lanes: int = DEFAULT_LANES,
+) -> bytes:
+    """Compress ``data`` into a Recoil container.
+
+    When ``model`` is omitted a static model is fitted to the data
+    (and embedded in the container).
+    """
+    if model is None:
+        model = _default_model(data, quant_bits)
+    return RecoilCodec(model, lanes=lanes).compress(data, num_splits)
+
+
+def recoil_decompress(
+    blob: bytes,
+    max_parallelism: int | None = None,
+    provider: AdaptiveModelProvider | None = None,
+) -> np.ndarray:
+    """Decompress a Recoil container.
+
+    ``max_parallelism`` caps the number of decoder threads by
+    combining splits client-side; ``provider`` is required for
+    containers encoded with adaptive (out-of-band) models.
+    """
+    parsed = parse_container(blob, provider=provider)
+    decoder = RecoilDecoder(parsed.provider, lanes=parsed.lanes)
+    result = decoder.decode(
+        parsed.words(blob),
+        parsed.final_states,
+        parsed.metadata,
+        max_threads=max_parallelism,
+    )
+    return result.symbols
+
+
+def recoil_shrink(blob: bytes, target_threads: int) -> bytes:
+    """Combine splits in a container without re-encoding (§3.3)."""
+    return shrink_container(blob, target_threads)

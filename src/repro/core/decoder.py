@@ -1,0 +1,142 @@
+"""The Recoil 3-phase parallel decoder (paper §4.1).
+
+Builds one :class:`~repro.parallel.simd.ThreadTask` per split segment
+from the metadata's thread plan and executes them on the batched lane
+engine.  The three phases of §4.1 map onto the task fields:
+
+- **Synchronization Phase** (§4.1.1): the walk between the split index
+  and the sync-complete index, where lanes activate one by one at
+  their recorded renormalization points.  Output in this range is not
+  committed (``commit_hi = C - 1``).
+- **Decoding Phase** (§4.1.2): the committed stretch down to the
+  previous split's boundary.
+- **Cross-Boundary Decoding Phase** (§4.1.3): the walk continues past
+  the previous split's position through *its* synchronization section,
+  committing those symbols, and terminates at its sync-complete point.
+
+Because all three phases are just index ranges of one uniform walk,
+the engine needs no per-phase logic — only the commit mask changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.metadata import RecoilMetadata
+from repro.errors import DecodeError
+from repro.parallel.simd import EngineStats, LaneEngine, ThreadTask
+from repro.parallel.workload import WorkloadSummary, summarize_tasks
+from repro.rans.adaptive import AdaptiveModelProvider, StaticModelProvider
+from repro.rans.constants import DEFAULT_LANES
+from repro.rans.model import SymbolModel
+
+
+@dataclass
+class RecoilDecodeResult:
+    """Decoded output plus measured work (feeds Figure 7)."""
+
+    symbols: np.ndarray
+    engine_stats: EngineStats
+    workload: WorkloadSummary
+
+
+def build_thread_tasks(
+    metadata: RecoilMetadata,
+    num_words: int,
+    final_states: np.ndarray,
+) -> list[ThreadTask]:
+    """Translate a metadata thread plan into engine tasks."""
+    tasks: list[ThreadTask] = []
+    for item in metadata.thread_plan():
+        entry = item["entry"]
+        if entry is None:
+            # The final segment decodes from the transmitted final
+            # states, fully initialized (no synchronization needed).
+            tasks.append(
+                ThreadTask(
+                    start_pos=num_words - 1,
+                    walk_hi=item["walk_hi"],
+                    walk_lo=item["walk_lo"],
+                    commit_hi=item["commit_hi"],
+                    commit_lo=item["commit_lo"],
+                    initial_states=np.asarray(
+                        final_states, dtype=np.uint64
+                    ),
+                    check_terminal=item["walk_lo"] == 1,
+                    terminal_pos=-1,
+                )
+            )
+        else:
+            activations = [
+                (int(idx), lane, int(state))
+                for lane, (idx, state) in enumerate(
+                    zip(entry.lane_indices, entry.lane_states)
+                )
+            ]
+            tasks.append(
+                ThreadTask(
+                    start_pos=entry.word_offset,
+                    walk_hi=item["walk_hi"],
+                    walk_lo=item["walk_lo"],
+                    commit_hi=item["commit_hi"],
+                    commit_lo=item["commit_lo"],
+                    activations=activations,
+                    check_terminal=item["walk_lo"] == 1,
+                    terminal_pos=-1,
+                )
+            )
+    return tasks
+
+
+class RecoilDecoder:
+    """Massively parallel decoder for Recoil streams."""
+
+    def __init__(
+        self,
+        provider: AdaptiveModelProvider | SymbolModel,
+        lanes: int = DEFAULT_LANES,
+    ) -> None:
+        if isinstance(provider, SymbolModel):
+            provider = StaticModelProvider(provider)
+        self.provider = provider
+        self.lanes = lanes
+
+    def _out_dtype(self):
+        a = self.provider.alphabet_size
+        if a <= 256:
+            return np.uint8
+        if a <= 65536:
+            return np.uint16
+        return np.uint32
+
+    def decode(
+        self,
+        words: np.ndarray,
+        final_states: np.ndarray,
+        metadata: RecoilMetadata,
+        max_threads: int | None = None,
+    ) -> RecoilDecodeResult:
+        """Decode using every split in ``metadata``.
+
+        ``max_threads`` optionally combines splits first (client-side
+        equivalent of the server's shrinking — useful when the decoder
+        received more metadata than it has cores).
+        """
+        if metadata.lanes != self.lanes:
+            raise DecodeError(
+                f"metadata is for {metadata.lanes}-way interleaving, "
+                f"decoder configured for {self.lanes}"
+            )
+        if max_threads is not None:
+            metadata = metadata.combine(max_threads)
+        tasks = build_thread_tasks(metadata, len(words), final_states)
+        out = np.empty(metadata.num_symbols, dtype=self._out_dtype())
+        engine = LaneEngine(self.provider, self.lanes)
+        stats = engine.run(words, tasks, out)
+        return RecoilDecodeResult(
+            symbols=out,
+            engine_stats=stats,
+            workload=summarize_tasks(tasks),
+        )

@@ -1,0 +1,180 @@
+"""Efficient metadata storage (paper §4.3, Tables 1–2).
+
+Only differences from expectations are stored:
+
+- the ``i``-th split's bitstream offset is expected at ``i * ceil(B/M)``;
+- the ``i``-th split's anchor (max Symbol Group ID) is expected at
+  ``i * ceil(G/M)`` where ``G = ceil(N/K)`` is the total group count;
+- per-lane Symbol Group IDs are stored as non-negative differences
+  from the split's anchor (dropping the sign bit, since the anchor is
+  the maximum);
+- intermediate states are stored as-is in 16 bits each (Lemma 3.1).
+
+Difference series are bit-packed: a width field holding ``width - 1``
+followed by fixed-width values (paper's
+``max floor(log2(v_i + 1)) - 1`` scheme, with one bit used even for
+all-zero series).  Deviation from the paper, documented in DESIGN.md:
+we use a 5-bit width field everywhere (the paper uses 4 bits for the
+group-ID series), buying robustness for one extra bit per series.
+
+Signed series carry one leading flag bit: when 0, no per-element sign
+bits follow (the common case of all-non-negative offsets diffs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bitio import BitReader, BitWriter, decode_uvarint, encode_uvarint
+from repro.core.metadata import RecoilMetadata, SplitEntry
+from repro.errors import MetadataError
+
+_WIDTH_FIELD_BITS = 5
+_MAX_WIDTH = 1 << _WIDTH_FIELD_BITS  # widths 1..32
+
+
+def _series_width(values: np.ndarray) -> int:
+    """Bits needed per magnitude (>= 1 even for all-zero series)."""
+    if len(values) == 0:
+        return 1
+    top = int(np.abs(values).max())
+    return max(1, top.bit_length())
+
+
+def write_unsigned_series(writer: BitWriter, values: np.ndarray) -> None:
+    """Width field + fixed-width non-negative values."""
+    values = np.asarray(values, dtype=np.int64)
+    if np.any(values < 0):
+        raise MetadataError("unsigned series contains negative values")
+    width = _series_width(values)
+    if width > _MAX_WIDTH:
+        raise MetadataError(f"series value too large for {_MAX_WIDTH} bits")
+    writer.write_bits(width - 1, _WIDTH_FIELD_BITS)
+    for v in values.tolist():
+        writer.write_bits(v, width)
+
+
+def read_unsigned_series(reader: BitReader, count: int) -> np.ndarray:
+    width = reader.read_bits(_WIDTH_FIELD_BITS) + 1
+    return np.array(
+        [reader.read_bits(width) for _ in range(count)], dtype=np.int64
+    )
+
+
+def write_signed_series(writer: BitWriter, values: np.ndarray) -> None:
+    """Width field + sign-presence flag + values.
+
+    When every value is non-negative the per-element sign bits are
+    omitted entirely (flag bit 0).
+    """
+    values = np.asarray(values, dtype=np.int64)
+    width = _series_width(values)
+    if width > _MAX_WIDTH:
+        raise MetadataError(f"series value too large for {_MAX_WIDTH} bits")
+    has_neg = bool(np.any(values < 0))
+    writer.write_bits(width - 1, _WIDTH_FIELD_BITS)
+    writer.write_bit(1 if has_neg else 0)
+    for v in values.tolist():
+        if has_neg:
+            writer.write_bit(1 if v < 0 else 0)
+        writer.write_bits(abs(v), width)
+
+
+def read_signed_series(reader: BitReader, count: int) -> np.ndarray:
+    width = reader.read_bits(_WIDTH_FIELD_BITS) + 1
+    has_neg = reader.read_bit()
+    out = np.empty(count, dtype=np.int64)
+    for i in range(count):
+        sign = reader.read_bit() if has_neg else 0
+        mag = reader.read_bits(width)
+        out[i] = -mag if sign else mag
+    return out
+
+
+# ---------------------------------------------------------------------------
+
+
+def serialize_metadata(md: RecoilMetadata) -> bytes:
+    """Render :class:`RecoilMetadata` into the compact §4.3 format."""
+    head = bytearray()
+    head += encode_uvarint(md.lanes)
+    head += encode_uvarint(md.num_symbols)
+    head += encode_uvarint(md.num_words)
+    head += encode_uvarint(len(md.entries))
+    if not md.entries:
+        return bytes(head)
+
+    M = md.num_threads
+    expected_off = -(-md.num_words // M)
+    total_groups = -(-md.num_symbols // md.lanes)
+    expected_grp = -(-total_groups // M)
+
+    offsets = np.array([e.word_offset for e in md.entries], dtype=np.int64)
+    anchors = np.array(
+        [int(e.group_ids(md.lanes).max()) for e in md.entries],
+        dtype=np.int64,
+    )
+    i = np.arange(1, len(md.entries) + 1, dtype=np.int64)
+    off_diffs = offsets - i * expected_off
+    grp_diffs = anchors - i * expected_grp
+
+    w = BitWriter()
+    write_signed_series(w, off_diffs)
+    write_signed_series(w, grp_diffs)
+    for e, anchor in zip(md.entries, anchors.tolist()):
+        states = e.lane_states
+        if np.any(states >= 1 << 16):
+            raise MetadataError(
+                "entry state exceeds 16 bits — Lemma 3.1 violated?"
+            )
+        for s in states.tolist():
+            w.write_bits(int(s), 16)
+        lane_grp = e.group_ids(md.lanes)
+        write_unsigned_series(w, anchor - lane_grp)
+    return bytes(head) + w.to_bytes()
+
+
+def parse_metadata(blob: bytes, offset: int = 0) -> tuple[RecoilMetadata, int]:
+    """Inverse of :func:`serialize_metadata`.
+
+    Returns ``(metadata, next_offset)`` where ``next_offset`` points
+    just past the metadata section (byte-aligned).
+    """
+    lanes, pos = decode_uvarint(blob, offset)
+    num_symbols, pos = decode_uvarint(blob, pos)
+    num_words, pos = decode_uvarint(blob, pos)
+    num_entries, pos = decode_uvarint(blob, pos)
+    if num_entries == 0:
+        return RecoilMetadata(num_symbols, num_words, lanes, []), pos
+
+    M = num_entries + 1
+    expected_off = -(-num_words // M)
+    total_groups = -(-num_symbols // lanes)
+    expected_grp = -(-total_groups // M)
+
+    r = BitReader(blob[pos:])
+    off_diffs = read_signed_series(r, num_entries)
+    grp_diffs = read_signed_series(r, num_entries)
+    i = np.arange(1, num_entries + 1, dtype=np.int64)
+    offsets = off_diffs + i * expected_off
+    anchors = grp_diffs + i * expected_grp
+
+    entries: list[SplitEntry] = []
+    for k in range(num_entries):
+        states = np.array(
+            [r.read_bits(16) for _ in range(lanes)], dtype=np.uint32
+        )
+        diffs = read_unsigned_series(r, lanes)
+        group_ids = anchors[k] - diffs
+        entries.append(
+            SplitEntry.from_group_ids(int(offsets[k]), group_ids, states)
+        )
+    r.align_to_byte()
+    consumed = r.bit_position // 8
+    md = RecoilMetadata(num_symbols, num_words, lanes, entries)
+    return md, pos + consumed
+
+
+def metadata_size_bytes(md: RecoilMetadata) -> int:
+    """Serialized size, for compression-rate accounting."""
+    return len(serialize_metadata(md))

@@ -1,0 +1,101 @@
+"""Detached ("sidecar") Recoil metadata — the paper's §6 future work.
+
+    "Recoil can be an easy drop-in replacement for the single-threaded
+    interleaved rANS coders: the Recoil metadata can be transmitted
+    separately so that the coding format does not change."
+
+A *sidecar* is the split metadata serialized on its own, bound to a
+specific bitstream by a geometry fingerprint (symbol count, word
+count, lane count, and a payload checksum).  The host format keeps
+shipping its standard interleaved rANS stream, fully readable by
+legacy decoders; Recoil-aware decoders additionally fetch the sidecar
+and decode massively in parallel.
+
+Layout::
+
+    magic   b"RCSC"
+    u8      version (=1)
+    u32 LE  payload checksum (FNV-1a over the word bytes)
+    metadata section (§4.3 format)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.metadata import RecoilMetadata
+from repro.core.serialization import parse_metadata, serialize_metadata
+from repro.errors import ContainerError
+
+MAGIC = b"RCSC"
+VERSION = 1
+_FNV_OFFSET = 0x811C9DC5
+_FNV_PRIME = 0x01000193
+
+
+def payload_checksum(words: np.ndarray) -> int:
+    """FNV-1a over the word stream, vectorized in 64-bit chunks.
+
+    Cheap binding between sidecar and payload — catches pairing a
+    sidecar with the wrong (or re-encoded) bitstream before the
+    decoder trips over misaligned reads.
+    """
+    data = np.ascontiguousarray(words, dtype="<u2").tobytes()
+    h = _FNV_OFFSET
+    # Classic byte-at-a-time FNV is too slow in Python; fold 8-byte
+    # blocks through the same recurrence instead (documented format).
+    pad = (-len(data)) % 8
+    arr = np.frombuffer(data + b"\x00" * pad, dtype="<u8")
+    for block in arr[: 1 << 16]:  # cap work for huge payloads
+        h ^= int(block) & 0xFFFFFFFF
+        h = (h * _FNV_PRIME) & 0xFFFFFFFF
+        h ^= int(block) >> 32
+        h = (h * _FNV_PRIME) & 0xFFFFFFFF
+    h ^= len(data)
+    return (h * _FNV_PRIME) & 0xFFFFFFFF
+
+
+def build_sidecar(metadata: RecoilMetadata, words: np.ndarray) -> bytes:
+    """Serialize metadata detached from its bitstream."""
+    out = bytearray()
+    out += MAGIC
+    out.append(VERSION)
+    out += payload_checksum(words).to_bytes(4, "little")
+    out += serialize_metadata(metadata)
+    return bytes(out)
+
+
+def parse_sidecar(
+    blob: bytes, words: np.ndarray | None = None
+) -> RecoilMetadata:
+    """Parse a sidecar; verifies the payload binding when ``words``
+    is provided."""
+    if blob[:4] != MAGIC:
+        raise ContainerError(f"bad sidecar magic {blob[:4]!r}")
+    if blob[4] != VERSION:
+        raise ContainerError(f"unsupported sidecar version {blob[4]}")
+    checksum = int.from_bytes(blob[5:9], "little")
+    metadata, _ = parse_metadata(blob, 9)
+    if words is not None:
+        if len(words) != metadata.num_words:
+            raise ContainerError(
+                f"sidecar is for a {metadata.num_words}-word stream, "
+                f"got {len(words)} words"
+            )
+        actual = payload_checksum(words)
+        if actual != checksum:
+            raise ContainerError(
+                "sidecar checksum does not match the payload — wrong "
+                "bitstream for this sidecar"
+            )
+    return metadata
+
+
+def shrink_sidecar(blob: bytes, target_threads: int) -> bytes:
+    """Combine splits inside a detached sidecar (server-side §3.3,
+    without touching — or even holding — the payload)."""
+    if blob[:4] != MAGIC or blob[4] != VERSION:
+        raise ContainerError("not a sidecar")
+    header = blob[:9]
+    metadata, _ = parse_metadata(blob, 9)
+    return header + serialize_metadata(metadata.combine(target_threads))

@@ -1,0 +1,183 @@
+"""Split-point selection (paper §4.1 backward scan + §4.2 heuristic).
+
+Given the renormalization-event log of an encode pass, pick split
+events so that per-thread workloads are balanced and Synchronization
+Sections stay short, optimizing Definition 4.1's
+
+    H(t, ts) = |t - T| + |t - ts - T|,      T = ceil(N / M)
+
+where ``t`` counts the symbols between the previous and current split
+points (including the sync section) and ``ts`` the sync section alone.
+
+Terminology bridge to the implementation: an encoder event recorded at
+A-index ``i`` (the symbol about to be encoded when the lane
+renormalized) initializes its lane at metadata index ``m = i - K`` —
+the lane reads the event's word and then decodes symbol ``m`` (see
+DESIGN.md §7).  All indices below are metadata (``m``) indices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.metadata import RecoilMetadata, SplitEntry
+from repro.errors import MetadataError
+from repro.rans.interleaved import RenormEvents
+
+
+@dataclass
+class SplitterStats:
+    """Diagnostics from a selection pass."""
+
+    requested_threads: int
+    achieved_threads: int
+    total_sync_symbols: int
+    mean_heuristic_cost: float
+
+
+class SplitSelector:
+    """Selects split events for a recorded encode pass.
+
+    Parameters
+    ----------
+    events:
+        The encoder's renormalization log (one entry per stream word).
+    lanes:
+        Interleave width ``K``.
+    num_symbols:
+        Sequence length ``N``.
+    window:
+        How many candidate events to examine around each ideal split
+        position (the heuristic's search neighbourhood).
+    """
+
+    def __init__(
+        self,
+        events: RenormEvents,
+        lanes: int,
+        num_symbols: int,
+        window: int = 48,
+    ) -> None:
+        self.events = events
+        self.lanes = lanes
+        self.num_symbols = num_symbols
+        self.window = window
+        # Per-lane event positions (indices into the event log), used
+        # for the vectorized backward scan.
+        ev_lane = np.asarray(events.lane)
+        self._lane_positions = [
+            np.flatnonzero(ev_lane == j) for j in range(lanes)
+        ]
+        self._ev_sym = np.asarray(events.symbol_index, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+
+    def _scan_candidates(
+        self, cand: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Backward scan (§4.1) for a batch of candidate event ids.
+
+        For every candidate event and every lane, find the lane's most
+        recent event at or before the candidate.  Returns
+        ``(lane_event_ids, lane_indices, valid)`` where
+        ``lane_event_ids`` is ``(C, K)`` int64 (event-log ids, -1 when
+        the lane has no prior event), ``lane_indices`` the metadata
+        init indices ``m = A-index - K``, and ``valid`` marks
+        candidates where every lane has a usable event (``m >= 1``).
+        """
+        K = self.lanes
+        C = len(cand)
+        lane_event_ids = np.full((C, K), -1, dtype=np.int64)
+        for j in range(K):
+            pos_j = self._lane_positions[j]
+            if len(pos_j) == 0:
+                continue
+            # Last event of lane j with event id <= candidate id.
+            k = np.searchsorted(pos_j, cand, side="right") - 1
+            have = k >= 0
+            lane_event_ids[have, j] = pos_j[k[have]]
+        valid = (lane_event_ids >= 0).all(axis=1)
+        lane_indices = np.full((C, K), 0, dtype=np.int64)
+        ids_flat = lane_event_ids[valid]
+        lane_indices[valid] = self._ev_sym[ids_flat] - K
+        valid &= (lane_indices >= 1).all(axis=1)
+        return lane_event_ids, lane_indices, valid
+
+    def _entry_from_scan(
+        self, cand_id: int, lane_event_ids: np.ndarray
+    ) -> SplitEntry:
+        """Materialize a :class:`SplitEntry` from one scan row."""
+        states = np.asarray(self.events.state_after)[
+            lane_event_ids
+        ].astype(np.uint32)
+        indices = self._ev_sym[lane_event_ids] - self.lanes
+        return SplitEntry(
+            word_offset=int(cand_id),
+            lane_indices=indices,
+            lane_states=states,
+        )
+
+    # ------------------------------------------------------------------
+
+    def select(self, num_threads: int) -> tuple[RecoilMetadata, SplitterStats]:
+        """Choose up to ``num_threads - 1`` split entries.
+
+        Walks the ideal boundaries left to right; at each, evaluates
+        ``window`` nearby candidate events with Definition 4.1 and
+        keeps the cheapest valid one.  Returns possibly fewer entries
+        than requested when the stream is too short or events too
+        sparse — the metadata then simply supports fewer threads.
+        """
+        if num_threads < 1:
+            raise MetadataError(f"num_threads must be >= 1, got {num_threads}")
+        N = self.num_symbols
+        E = len(self.events)
+        entries: list[SplitEntry] = []
+        costs: list[float] = []
+        if num_threads == 1 or E == 0 or N <= self.lanes:
+            md = RecoilMetadata(N, E, self.lanes, [])
+            return md, SplitterStats(num_threads, 1, 0, 0.0)
+
+        T = -(-N // num_threads)  # ceil: expected symbols per split
+        # Metadata init index of each event (for searchsorted); events
+        # are symbol-ordered so this array is strictly increasing.
+        ev_m = self._ev_sym - self.lanes
+
+        prev_S = 0
+        for t in range(1, num_threads):
+            ideal = t * T
+            if ideal >= N:
+                break
+            center = int(np.searchsorted(ev_m, ideal))
+            lo = max(0, center - self.window // 2)
+            hi = min(E, lo + self.window)
+            cand = np.arange(lo, hi)
+            if len(cand) == 0:
+                continue
+            lane_ids, lane_idx, valid = self._scan_candidates(cand)
+            S = lane_idx.max(axis=1)
+            Cc = lane_idx.min(axis=1)
+            # Reject overlaps with the previous split and non-advancing
+            # candidates.
+            valid &= (Cc > prev_S) & (S > prev_S) & (S < N)
+            if not valid.any():
+                continue
+            t_sym = S - prev_S
+            ts = S - Cc + 1
+            cost = np.abs(t_sym - T) + np.abs(t_sym - ts - T)
+            cost = np.where(valid, cost, np.iinfo(np.int64).max)
+            best = int(np.argmin(cost))
+            entries.append(self._entry_from_scan(int(cand[best]), lane_ids[best]))
+            costs.append(float(cost[best]))
+            prev_S = int(S[best])
+
+        md = RecoilMetadata(N, E, self.lanes, entries)
+        stats = SplitterStats(
+            requested_threads=num_threads,
+            achieved_threads=md.num_threads,
+            total_sync_symbols=md.sync_overhead_symbols(),
+            mean_heuristic_cost=float(np.mean(costs)) if costs else 0.0,
+        )
+        return md, stats

@@ -1,0 +1,34 @@
+"""Dataset generators mirroring the paper's evaluation corpora.
+
+Offline substitutes (DESIGN.md substitution table):
+
+- ``rand_λ`` — exponentially distributed bytes, exactly as §5.1.
+- text surrogates (``dickens``, ``webster``, ``enwik8``, ``enwik9``) —
+  byte-histogram surrogates whose order-0 entropy matches the real
+  corpora (the experiments use static order-0 models, so the histogram
+  is the only property that matters; sizes are scaled down by default).
+- ``div2k*`` — synthetic 16-bit latent planes with hyperprior-style
+  spatially varying Gaussian scales, standing in for mbt2018-mean
+  latents of DIV2K images.
+"""
+
+from repro.data.registry import (
+    DATASETS,
+    DatasetSpec,
+    SCALE_PROFILES,
+    load_dataset,
+)
+from repro.data.synthetic import exponential_bytes
+from repro.data.textgen import text_surrogate
+from repro.data.images import LatentPlane, synthesize_latents
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "SCALE_PROFILES",
+    "load_dataset",
+    "exponential_bytes",
+    "text_surrogate",
+    "LatentPlane",
+    "synthesize_latents",
+]

@@ -1,0 +1,105 @@
+"""Synthetic image-latent planes (div2k / mbt2018-mean surrogate).
+
+The paper transforms DIV2K images through the mbt2018-mean learned
+codec into 16-bit latent symbols and codes each with a Gaussian whose
+scale comes from a transmitted hyperprior (§5.1).  Offline, we
+synthesize the same *coding problem*:
+
+1. a smooth spatial scale field (low-pass filtered log-normal noise)
+   plays the hyperprior's role — neighbouring latents share similar
+   scales, most scales are tiny (sparse latents), a few are large
+   (edges/texture);
+2. scales quantize onto a :class:`~repro.rans.adaptive.GaussianModelBank`
+   table, giving every symbol index its model id;
+3. symbols are drawn *from the quantized models themselves* via their
+   slot LUTs, so the data matches the adaptive models exactly — the
+   ideal-modelling regime the learned codec approximates.
+
+This exercises the identical code path (16-bit symbols, n=16, per-index
+adaptive models) with controllable compressibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.ndimage import gaussian_filter
+
+from repro.rans.adaptive import GaussianModelBank, IndexedModelProvider
+
+
+@dataclass
+class LatentPlane:
+    """A synthetic latent tensor plus its entropy models."""
+
+    symbols: np.ndarray  # uint16, flattened latent plane
+    scale_ids: np.ndarray  # per-symbol model ids (the "hyperprior")
+    bank: GaussianModelBank
+
+    @property
+    def provider(self) -> IndexedModelProvider:
+        return self.bank.provider_for_ids(self.scale_ids)
+
+    @property
+    def num_symbols(self) -> int:
+        return len(self.symbols)
+
+    @property
+    def uncompressed_bytes(self) -> int:
+        return 2 * len(self.symbols)
+
+    def ideal_bits(self) -> float:
+        """Model cross-entropy of the plane (the rate target)."""
+        total = 0.0
+        probs = [m.probabilities for m in self.bank.models]
+        quant = self.bank.quant_bits
+        for mid in np.unique(self.scale_ids):
+            mask = self.scale_ids == mid
+            p = probs[int(mid)][self.symbols[mask]]
+            total += float(-np.log2(np.maximum(p, 2.0 ** -quant)).sum())
+        return total
+
+
+def synthesize_latents(
+    num_symbols: int,
+    *,
+    quant_bits: int = 16,
+    alphabet_size: int = 65536,
+    num_scales: int = 64,
+    log_scale_mean: float = -1.2,
+    log_scale_sigma: float = 1.1,
+    smoothness: float = 24.0,
+    seed: int = 0,
+) -> LatentPlane:
+    """Build a latent plane with hyperprior-style scale structure.
+
+    ``log_scale_mean``/``log_scale_sigma`` control compressibility:
+    lower mean → more near-zero scales → fewer bits per symbol (the
+    div2k805-like regime); higher → div2k803-like.
+    """
+    rng = np.random.default_rng(seed)
+    bank = GaussianModelBank(
+        quant_bits, alphabet_size=alphabet_size, num_scales=num_scales
+    )
+    # Smooth log-scale field: filtered white noise, normalized back to
+    # unit variance so `smoothness` does not change the marginal.
+    noise = rng.normal(size=num_symbols)
+    field = gaussian_filter(noise, sigma=smoothness, mode="wrap")
+    std = field.std()
+    if std > 0:
+        field = field / std
+    scales = np.exp(log_scale_mean + log_scale_sigma * field)
+    scales = np.clip(scales, bank.SCALE_MIN, bank.SCALE_MAX)
+    scale_ids = bank.scale_to_id(scales)
+
+    # Sample each symbol from its quantized model via the slot LUT:
+    # a uniform slot in [0, 2**n) maps through slot_to_symbol to an
+    # exact draw from the quantized pmf.
+    symbols = np.empty(num_symbols, dtype=np.uint16)
+    slots = rng.integers(0, 1 << quant_bits, size=num_symbols)
+    for mid in np.unique(scale_ids):
+        mask = scale_ids == mid
+        lut = bank.models[int(mid)].slot_to_symbol
+        symbols[mask] = lut[slots[mask]]
+    return LatentPlane(symbols=symbols, scale_ids=scale_ids, bank=bank)

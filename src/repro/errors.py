@@ -1,0 +1,42 @@
+"""Exception hierarchy for the Recoil reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type.  Sub-classes distinguish model problems,
+bitstream corruption, metadata problems, and API misuse.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class ModelError(ReproError):
+    """A probability model is malformed (zero frequencies, bad
+    quantization level, PDF does not sum to 2**n, ...)."""
+
+
+class EncodeError(ReproError):
+    """Encoding failed (symbol outside the model alphabet, state
+    overflow, ...)."""
+
+
+class DecodeError(ReproError):
+    """Decoding failed (bitstream exhausted, state desynchronized,
+    checksum mismatch, ...)."""
+
+
+class MetadataError(ReproError):
+    """Recoil split metadata is inconsistent with the bitstream or was
+    corrupted in serialization."""
+
+
+class ContainerError(ReproError):
+    """A serialized container (Recoil or Conventional) is malformed:
+    bad magic, truncated section, unsupported version."""
+
+
+class ParallelismError(ReproError):
+    """Invalid parallel-execution request (zero workers, more workers
+    than splits where forbidden, ...)."""

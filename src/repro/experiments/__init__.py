@@ -1,0 +1,28 @@
+"""Experiment reproductions, one module per paper table/figure.
+
+=================  ===========================================
+module             reproduces
+=================  ===========================================
+``figure3``        Fig. 3 — file size vs #sub-sequences
+``table4``         Table 4 — baseline compressed sizes
+``tables56``       Tables 5 & 6 — variation size deltas
+``figure7``        Fig. 7 — decode throughput, CPU and GPU
+=================  ===========================================
+
+``runner`` exposes the ``recoil-bench`` CLI which regenerates
+everything and rewrites EXPERIMENTS.md.
+"""
+
+from repro.experiments.common import (
+    VariationArtifacts,
+    build_variations,
+    LARGE_SPLITS,
+    SMALL_SPLITS,
+)
+
+__all__ = [
+    "VariationArtifacts",
+    "build_variations",
+    "LARGE_SPLITS",
+    "SMALL_SPLITS",
+]

@@ -1,0 +1,133 @@
+"""Shared machinery for the evaluation experiments (paper §5.1–5.2).
+
+Builds the six bitstream variations of §5.2 for a dataset:
+
+=====  ======================================================
+(a)    Single-Thread baseline (compression-rate reference)
+(b)    Conventional **Large** — 2176 partitions (GPU target)
+(c)    Recoil **Large** — 2176 splits (GPU target)
+(d)    Conventional **Small** — 16 partitions (CPU target)
+(e)    Recoil **Small** — (c) *combined down* to 16 splits
+(f)    multians tANS bitstream
+=====  ======================================================
+
+Key reproduction detail: (e) is produced by :func:`recoil_shrink` on
+(c)'s container — never by re-encoding — mirroring the paper's server
+workflow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines import ConventionalCodec, SingleThreadCodec
+from repro.core import RecoilCodec, recoil_shrink
+from repro.data.images import LatentPlane
+from repro.rans.adaptive import (
+    AdaptiveModelProvider,
+    StaticModelProvider,
+)
+from repro.rans.model import SymbolModel
+from repro.tans import MultiansCodec, TansTable
+
+#: Paper §5.2: partitions/splits "for massively parallel GPU decoding"
+#: (the thread count that fills an RTX 2080 Ti) and "for parallel CPU
+#: decoding" (a 16-core workstation).
+LARGE_SPLITS = 2176
+SMALL_SPLITS = 16
+
+
+@dataclass
+class VariationArtifacts:
+    """Containers and sizes for all variations of one dataset."""
+
+    dataset: str
+    quant_bits: int
+    uncompressed_bytes: int
+    data: np.ndarray
+    provider: AdaptiveModelProvider
+    sizes: dict[str, int] = field(default_factory=dict)
+    blobs: dict[str, bytes] = field(default_factory=dict)
+
+    def delta(self, variation: str) -> int:
+        return self.sizes[variation] - self.sizes["a"]
+
+    def delta_percent(self, variation: str) -> float:
+        return 100.0 * self.delta(variation) / self.sizes["a"]
+
+
+def provider_for(data, quant_bits: int) -> tuple[np.ndarray, AdaptiveModelProvider]:
+    """Model provider + raw symbols for a dataset object."""
+    if isinstance(data, LatentPlane):
+        return data.symbols, data.provider
+    data = np.asarray(data)
+    model = SymbolModel.from_data(data, quant_bits, alphabet_size=256)
+    return data, StaticModelProvider(model)
+
+
+def build_variations(
+    name: str,
+    data,
+    quant_bits: int,
+    large: int = LARGE_SPLITS,
+    small: int = SMALL_SPLITS,
+    include_multians: bool = True,
+    variations: str = "abcdef",
+) -> VariationArtifacts:
+    """Encode every requested variation and record container sizes."""
+    symbols, provider = provider_for(data, quant_bits)
+    uncompressed = (
+        data.uncompressed_bytes
+        if isinstance(data, LatentPlane)
+        else len(symbols)
+    )
+    art = VariationArtifacts(
+        dataset=name,
+        quant_bits=quant_bits,
+        uncompressed_bytes=uncompressed,
+        data=symbols,
+        provider=provider,
+    )
+
+    if "a" in variations:
+        st = SingleThreadCodec(provider)
+        blob = st.compress(symbols)
+        art.blobs["a"] = blob
+        art.sizes["a"] = len(blob)
+    if "b" in variations or "d" in variations:
+        conv = ConventionalCodec(provider)
+        if "b" in variations:
+            blob = conv.compress(symbols, large)
+            art.blobs["b"] = blob
+            art.sizes["b"] = len(blob)
+        if "d" in variations:
+            blob = conv.compress(symbols, small)
+            art.blobs["d"] = blob
+            art.sizes["d"] = len(blob)
+    if "c" in variations or "e" in variations:
+        rc = RecoilCodec(provider)
+        blob_large = rc.compress(symbols, large)
+        art.blobs["c"] = blob_large
+        art.sizes["c"] = len(blob_large)
+        if "e" in variations:
+            # Real-time combining, NOT re-encoding (paper §3.3).
+            blob_small = recoil_shrink(blob_large, small)
+            art.blobs["e"] = blob_small
+            art.sizes["e"] = len(blob_small)
+    if (
+        "f" in variations
+        and include_multians
+        and not isinstance(data, LatentPlane)
+    ):
+        # multians: tANS state count 2**12 normally, 2**16 when n=16
+        # (paper §5.1: "modify the state count only for the n=16
+        # experiment").
+        table_bits = 16 if quant_bits >= 16 else 12
+        table = TansTable.from_data(symbols, table_bits, alphabet_size=256)
+        mc = MultiansCodec(table)
+        blob = mc.compress(symbols)
+        art.blobs["f"] = blob
+        art.sizes["f"] = len(blob)
+    return art

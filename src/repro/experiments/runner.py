@@ -1,0 +1,146 @@
+"""``recoil-bench``: regenerate every paper table/figure in one run.
+
+Usage::
+
+    recoil-bench --profile ci --experiments fig3,t4,t5,t6,fig7
+    recoil-bench --profile default --out EXPERIMENTS_RUN.md
+
+Profiles control dataset sizes (see
+:data:`repro.data.registry.SCALE_PROFILES`): ``ci`` finishes in about a
+minute, ``default`` in tens of minutes, ``paper`` uses the paper's full
+sizes (hours in pure Python).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import figure3, figure7, table4, tables56
+from repro.experiments.tables56 import headline_saving
+
+ALL = ("fig3", "t4", "t5", "t6", "fig7")
+
+
+def run_all(
+    profile: str,
+    experiments: tuple[str, ...] = ALL,
+    stream=sys.stdout,
+    markdown: bool = False,
+) -> dict:
+    """Run the requested experiments, printing tables as they finish.
+
+    Returns a dict of result objects keyed by experiment id.
+    """
+    results: dict = {}
+
+    def emit(table) -> None:
+        if table is None:
+            return
+        text = table.render_markdown() if markdown else table.render()
+        print(text, file=stream)
+        print(file=stream)
+
+    t0 = time.perf_counter()
+    if "fig3" in experiments:
+        results["fig3"] = figure3.run(profile)
+        emit(results["fig3"].table)
+    if "t4" in experiments:
+        results["t4"] = table4.run(profile)
+        emit(results["t4"].table)
+    if "t5" in experiments:
+        results["t5"] = tables56.run(11, profile)
+        emit(results["t5"].table)
+        name, saving = headline_saving(results["t5"])
+        print(
+            f"Max overhead reduction serving (e) instead of (b), n=11: "
+            f"{saving:.2f}% on {name}",
+            file=stream,
+        )
+        print(file=stream)
+    if "t6" in experiments:
+        results["t6"] = tables56.run(16, profile)
+        emit(results["t6"].table)
+        name, saving = headline_saving(results["t6"])
+        print(
+            f"Max overhead reduction serving (e) instead of (b), n=16: "
+            f"{saving:.2f}% on {name}",
+            file=stream,
+        )
+        print(file=stream)
+    if "fig7" in experiments:
+        results["fig7_n11"] = figure7.run(11, profile)
+        emit(results["fig7_n11"].cpu_table)
+        emit(results["fig7_n11"].gpu_table)
+        results["fig7_n16"] = figure7.run(16, profile)
+        emit(results["fig7_n16"].cpu_table)
+        emit(results["fig7_n16"].gpu_table)
+    print(
+        f"[recoil-bench] completed in {time.perf_counter() - t0:.1f}s "
+        f"(profile={profile})",
+        file=stream,
+    )
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="recoil-bench",
+        description="Regenerate the Recoil paper's tables and figures.",
+    )
+    parser.add_argument(
+        "--profile",
+        default="ci",
+        choices=("ci", "default", "paper"),
+        help="dataset size profile",
+    )
+    parser.add_argument(
+        "--experiments",
+        default=",".join(ALL),
+        help=f"comma-separated subset of {ALL}",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="also write the report (markdown) to this file",
+    )
+    args = parser.parse_args(argv)
+    experiments = tuple(
+        e.strip() for e in args.experiments.split(",") if e.strip()
+    )
+    unknown = set(experiments) - set(ALL)
+    if unknown:
+        parser.error(f"unknown experiments: {sorted(unknown)}")
+
+    results = run_all(args.profile, experiments)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(f"# recoil-bench report (profile={args.profile})\n\n")
+            emit_report(results, fh)
+        print(f"report written to {args.out}")
+    return 0
+
+
+def emit_report(results: dict, fh) -> None:
+    """Render already-computed results as markdown (no re-running)."""
+    order = ["fig3", "t4", "t5", "t6", "fig7_n11", "fig7_n16"]
+    for key in order:
+        res = results.get(key)
+        if res is None:
+            continue
+        for attr in ("table", "cpu_table", "gpu_table"):
+            table = getattr(res, attr, None)
+            if table is not None:
+                fh.write(table.render_markdown())
+                fh.write("\n\n")
+        if key in ("t5", "t6"):
+            name, saving = headline_saving(res)
+            fh.write(
+                f"Max overhead reduction serving (e) instead of (b): "
+                f"{saving:.2f}% on {name}\n\n"
+            )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,59 @@
+"""Table 4: dataset inventory and baseline (a) compressed sizes.
+
+For byte datasets the baseline is the Single-Thread 32-way interleaved
+rANS container at n = 11 and n = 16; image datasets are compressed at
+n = 16 only (16-bit symbols need the finer quantization).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines import SingleThreadCodec
+from repro.data import load_dataset
+from repro.data.registry import BYTE_DATASETS, IMAGE_DATASETS
+from repro.experiments.common import provider_for
+from repro.stats.report import Table, format_bytes
+
+
+@dataclass
+class Table4Result:
+    rows: dict[str, dict] = field(default_factory=dict)
+    table: Table | None = None
+
+
+def baseline_size(data, quant_bits: int) -> int:
+    symbols, provider = provider_for(data, quant_bits)
+    return len(SingleThreadCodec(provider).compress(symbols))
+
+
+def run(profile: str = "default", datasets: list[str] | None = None) -> Table4Result:
+    result = Table4Result()
+    names = datasets or (BYTE_DATASETS + IMAGE_DATASETS)
+    table = Table(
+        headers=["Name", "Uncompressed", "n=11", "n=16"],
+        title=f"Table 4 — baseline (a) compressed sizes [{profile} profile]",
+    )
+    for name in names:
+        data = load_dataset(name, profile)
+        is_image = name in IMAGE_DATASETS
+        uncompressed = (
+            data.uncompressed_bytes if is_image else len(data)
+        )
+        row: dict = {"uncompressed": uncompressed}
+        if not is_image:
+            row["n11"] = baseline_size(data, 11)
+        row["n16"] = baseline_size(data, 16)
+        result.rows[name] = row
+        table.add_row(
+            name,
+            format_bytes(uncompressed),
+            format_bytes(row["n11"]) if "n11" in row else "N/A",
+            format_bytes(row["n16"]),
+        )
+    result.table = table
+    return result
+
+
+if __name__ == "__main__":
+    print(run("ci").table)

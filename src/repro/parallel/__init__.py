@@ -1,0 +1,26 @@
+"""Parallel execution substrate.
+
+- :mod:`repro.parallel.simd` — the numpy lane engine: decodes a batch
+  of decoder threads, each with 32 interleaved lanes, as dense array
+  operations (the reproduction's stand-in for AVX vectors and CUDA
+  warps).
+- :mod:`repro.parallel.executor` — process/thread-pool execution of
+  decode tasks on real OS threads.
+- :mod:`repro.parallel.costmodel` — analytical device profiles used to
+  project Figure-7-style GB/s numbers from counted work.
+- :mod:`repro.parallel.workload` — work accounting helpers.
+"""
+
+from repro.parallel.simd import LaneEngine, ThreadTask, EngineStats
+from repro.parallel.costmodel import DeviceProfile, project_throughput
+from repro.parallel.workload import WorkloadSummary, summarize_tasks
+
+__all__ = [
+    "LaneEngine",
+    "ThreadTask",
+    "EngineStats",
+    "DeviceProfile",
+    "project_throughput",
+    "WorkloadSummary",
+    "summarize_tasks",
+]

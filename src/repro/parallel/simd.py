@@ -1,0 +1,306 @@
+"""Batched lane engine: many decoder threads as numpy arrays.
+
+This module is the reproduction's substitute for the paper's SIMD and
+CUDA decoders (DESIGN.md substitution table).  A *thread task* is one
+logical decoder thread: a group of ``K`` interleaved rANS lanes walking
+a symbol-index range backwards over a shared word stream.  The engine
+advances **all tasks simultaneously**, one interleave group per
+iteration, with every per-lane operation expressed as dense
+``(tasks, lanes)`` array arithmetic — exactly the data layout a GPU
+implementation uses (one warp per task, one CUDA lane per rANS lane).
+
+Walk semantics (DESIGN.md §7): per symbol index ``i`` (descending),
+lane ``j = (i-1) % K`` first performs its renormalization read (Eq. 4
+fires iff the lane's state is below ``L``), then decodes symbol ``i``
+(Eq. 2).  A lane *activates* when the walk reaches its metadata index:
+its recorded state is installed, the pending read executes, and the
+lane decodes that very symbol — the Synchronization Phase of §4.1.1
+falls out of the masking for free, as do the Decoding and
+Cross-Boundary phases (they differ only in whether the output is
+committed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import DecodeError
+from repro.rans.adaptive import AdaptiveModelProvider
+from repro.rans.constants import L_BOUND, RENORM_BITS
+
+
+@dataclass
+class ThreadTask:
+    """One logical decoder thread.
+
+    Indices are *local* to the task (1-based); the global symbol index
+    is ``local + global_offset`` and output position
+    ``global_offset + local - 1``.  For Recoil threads over one shared
+    stream the offset is 0 and local == global; for Conventional
+    partitions each task gets its own offset and stream region.
+
+    Exactly one of ``initial_states`` (all lanes live from the start,
+    e.g. a full-stream decode from final states) or ``activations``
+    (lanes come alive mid-walk, the Recoil synchronization mechanism)
+    populates the lanes; both may be combined if a task needs it.
+    """
+
+    start_pos: int
+    walk_hi: int
+    walk_lo: int
+    commit_hi: int
+    commit_lo: int
+    global_offset: int = 0
+    initial_states: np.ndarray | None = None
+    activations: list[tuple[int, int, int]] = field(default_factory=list)
+    #: verify the walk drains the stream region back to the initial
+    #: coder states (only meaningful when ``walk_lo == 1``).
+    check_terminal: bool = False
+    #: expected stream position after the terminal drain (one before
+    #: the task's region start).
+    terminal_pos: int = -1
+
+
+@dataclass
+class EngineStats:
+    """Work counters from one engine run (feeds the cost model)."""
+
+    iterations: int = 0
+    symbols_decoded: int = 0  # includes discarded sync-section symbols
+    words_read: int = 0
+    tasks: int = 0
+    max_task_iterations: int = 0
+
+    @property
+    def lane_utilization(self) -> float:
+        """Decoded symbols per (iteration x task x lane) slot."""
+        denom = self.iterations * max(self.tasks, 1)
+        return self.symbols_decoded / denom if denom else 0.0
+
+
+class LaneEngine:
+    """Vectorized executor for batches of :class:`ThreadTask`."""
+
+    def __init__(self, provider: AdaptiveModelProvider, lanes: int) -> None:
+        self.provider = provider
+        self.lanes = lanes
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        words: np.ndarray,
+        tasks: list[ThreadTask],
+        out: np.ndarray,
+    ) -> EngineStats:
+        """Decode every task, writing committed symbols into ``out``.
+
+        ``out`` must be preallocated with the full sequence length;
+        each output position is written by exactly one task (the
+        commit ranges partition the sequence).
+        """
+        provider = self.provider
+        K = self.lanes
+        T = len(tasks)
+        stats = EngineStats(tasks=T)
+        if T == 0:
+            return stats
+
+        n = provider.quant_bits
+        n64 = np.uint64(n)
+        rb = np.uint64(RENORM_BITS)
+        slot_mask = np.uint64((1 << n) - 1)
+        lbound = np.uint64(L_BOUND)
+        words = np.asarray(words, dtype=np.uint16)
+
+        static = provider.is_static
+        if static:
+            lut1 = provider.models[0].slot_to_symbol
+            freq1 = provider.models[0].freqs.astype(np.uint64)
+            cdf1 = provider.models[0].cdf[:-1].astype(np.uint64)
+        else:
+            lut_t = provider.lut_table
+            freq_t = provider.freq_table.astype(np.uint64)
+            cdf_t = provider.cdf_table[:, :-1].astype(np.uint64)
+            ids_arr = self._dense_ids(len(out))
+
+        # ---- task state arrays ---------------------------------------
+        for ti, t in enumerate(tasks):
+            if t.start_pos >= len(words):
+                raise DecodeError(
+                    f"task {ti}: start position {t.start_pos} beyond "
+                    f"stream of {len(words)} words"
+                )
+        pos = np.array([t.start_pos for t in tasks], dtype=np.int64)
+        cur = np.array([t.walk_hi for t in tasks], dtype=np.int64)
+        lo = np.array([t.walk_lo for t in tasks], dtype=np.int64)
+        c_hi = np.array([t.commit_hi for t in tasks], dtype=np.int64)
+        c_lo = np.array([t.commit_lo for t in tasks], dtype=np.int64)
+        offs = np.array([t.global_offset for t in tasks], dtype=np.int64)
+
+        x = np.full((T, K), L_BOUND, dtype=np.uint64)
+        active = np.zeros((T, K), dtype=bool)
+        for ti, t in enumerate(tasks):
+            if t.initial_states is not None:
+                st = np.asarray(t.initial_states, dtype=np.uint64)
+                if st.shape != (K,):
+                    raise DecodeError(
+                        f"task {ti}: initial_states must have shape ({K},)"
+                    )
+                x[ti] = st
+                active[ti] = True
+
+        # ---- activation schedule -------------------------------------
+        # Activation (local_index, lane, state) installs at iteration
+        # r = group(walk_hi) - group(local_index): each iteration
+        # advances every live task exactly one interleave group.
+        act_task: list[int] = []
+        act_lane: list[int] = []
+        act_state: list[int] = []
+        act_iter: list[int] = []
+        for ti, t in enumerate(tasks):
+            g0 = (t.walk_hi - 1) // K
+            for idx, lane, state in t.activations:
+                if not t.walk_lo <= idx <= t.walk_hi:
+                    raise DecodeError(
+                        f"task {ti}: activation index {idx} outside walk "
+                        f"range [{t.walk_lo}, {t.walk_hi}]"
+                    )
+                act_task.append(ti)
+                act_lane.append(lane)
+                act_state.append(state)
+                act_iter.append(g0 - (idx - 1) // K)
+        if act_task:
+            a_iter = np.array(act_iter)
+            order = np.argsort(a_iter, kind="stable")
+            a_iter = a_iter[order]
+            a_task = np.array(act_task)[order]
+            a_lane = np.array(act_lane)[order]
+            a_state = np.array(act_state, dtype=np.uint64)[order]
+        else:
+            a_iter = np.empty(0, dtype=np.int64)
+            a_task = a_lane = np.empty(0, dtype=np.int64)
+            a_state = np.empty(0, dtype=np.uint64)
+        a_ptr = 0
+
+        lane_col = np.arange(K, dtype=np.int64)[None, :]
+        out_dtype = out.dtype
+        r = 0
+        per_task_iters = np.zeros(T, dtype=np.int64)
+
+        # ---- main loop ------------------------------------------------
+        while True:
+            alive = cur >= lo
+            if not alive.any():
+                break
+            # Install activations scheduled for this iteration.
+            while a_ptr < len(a_iter) and a_iter[a_ptr] <= r:
+                end = a_ptr
+                while end < len(a_iter) and a_iter[end] <= r:
+                    end += 1
+                x[a_task[a_ptr:end], a_lane[a_ptr:end]] = a_state[a_ptr:end]
+                active[a_task[a_ptr:end], a_lane[a_ptr:end]] = True
+                a_ptr = end
+
+            base = ((cur - 1) // K) * K
+            sl = np.maximum(lo, base + 1)
+            la = (sl - base - 1)[:, None]
+            lb = (cur - base - 1)[:, None]
+            part = (
+                (lane_col >= la)
+                & (lane_col <= lb)
+                & alive[:, None]
+                & active
+            )
+
+            # Renormalization reads (Eq. 4), before decoding: a lane
+            # reads iff its pre-decode state underflows L.  Reads occur
+            # in descending lane order within each task.
+            need = part & (x < lbound)
+            counts = need.sum(axis=1)
+            if counts.any():
+                rank = need[:, ::-1].cumsum(axis=1)[:, ::-1] - need
+                rpos = pos[:, None] - rank
+                src = rpos[need]
+                if src.min() < 0 or src.max() >= len(words):
+                    raise DecodeError(
+                        "stream read out of range during renormalization "
+                        "(corrupt metadata or truncated payload)"
+                    )
+                w = words[src].astype(np.uint64)
+                x[need] = (x[need] << rb) | w
+                pos -= counts
+                stats.words_read += int(counts.sum())
+
+            # Decode (Eq. 2) across all participating lanes at once.
+            slot = x & slot_mask
+            if static:
+                sym = lut1[slot]
+                f = freq1[sym]
+                start = cdf1[sym]
+            else:
+                g_idx = offs[:, None] + base[:, None] + lane_col  # 0-based
+                g_idx = np.clip(g_idx, 0, len(ids_arr) - 1)
+                ids = ids_arr[g_idx]
+                sym = lut_t[ids, slot]
+                f = freq_t[ids, sym]
+                start = cdf_t[ids, sym]
+            new_x = f * (x >> n64) + (slot - start)
+            x = np.where(part, new_x, x)
+
+            local_index = base[:, None] + lane_col + 1
+            commit = (
+                part
+                & (local_index >= c_lo[:, None])
+                & (local_index <= c_hi[:, None])
+            )
+            if commit.any():
+                out_pos = offs[:, None] + local_index - 1
+                out[out_pos[commit]] = sym[commit].astype(
+                    out_dtype, copy=False
+                )
+
+            stats.symbols_decoded += int(part.sum())
+            per_task_iters[alive] += 1
+            cur = np.where(alive, sl - 1, cur)
+            r += 1
+
+        stats.iterations = r
+        stats.max_task_iterations = int(per_task_iters.max()) if T else 0
+
+        # ---- terminal drain & checks ----------------------------------
+        for ti, t in enumerate(tasks):
+            if not t.check_terminal:
+                continue
+            p = int(pos[ti])
+            for lane in range(K - 1, -1, -1):
+                xv = int(x[ti, lane])
+                while xv < L_BOUND:
+                    if p <= t.terminal_pos:
+                        raise DecodeError(
+                            f"task {ti}: stream exhausted in terminal drain"
+                        )
+                    xv = (xv << RENORM_BITS) | int(words[p])
+                    p -= 1
+                    stats.words_read += 1
+                x[ti, lane] = xv
+            if p != t.terminal_pos:
+                raise DecodeError(
+                    f"task {ti}: stream region not fully consumed "
+                    f"(pos {p}, expected {t.terminal_pos})"
+                )
+            if np.any(x[ti] != L_BOUND):
+                raise DecodeError(
+                    f"task {ti}: lanes did not return to the initial "
+                    f"state L"
+                )
+        return stats
+
+    # ------------------------------------------------------------------
+
+    def _dense_ids(self, total_symbols: int) -> np.ndarray:
+        """Per-global-index model ids for adaptive providers."""
+        ids = self.provider.model_ids_for_range(1, total_symbols + 1)
+        return np.ascontiguousarray(ids, dtype=np.intp)

@@ -1,0 +1,89 @@
+"""Work accounting for decode runs.
+
+The cost model converts *counted work* into projected wall-clock time;
+this module does the counting.  The key quantities, per decoder
+thread/task:
+
+- payload symbols (committed output),
+- overhead symbols (Synchronization + Cross-Boundary re-decodes —
+  Recoil's runtime overhead, paper §4.2),
+- the makespan proxy: with ``P`` hardware workers executing ``T``
+  tasks, time scales with the max per-worker total after longest-
+  processing-time (LPT) assignment.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.parallel.simd import ThreadTask
+
+
+@dataclass
+class WorkloadSummary:
+    """Symbol counts describing one decode workload."""
+
+    num_tasks: int
+    payload_symbols: int
+    overhead_symbols: int
+    per_task_symbols: np.ndarray  # total walked symbols per task
+
+    @property
+    def total_symbols(self) -> int:
+        return self.payload_symbols + self.overhead_symbols
+
+    @property
+    def overhead_fraction(self) -> float:
+        if self.payload_symbols == 0:
+            return 0.0
+        return self.overhead_symbols / self.payload_symbols
+
+    @property
+    def imbalance(self) -> float:
+        """max/mean of per-task work (1.0 = perfectly balanced)."""
+        if len(self.per_task_symbols) == 0:
+            return 1.0
+        mean = self.per_task_symbols.mean()
+        return float(self.per_task_symbols.max() / mean) if mean else 1.0
+
+    def makespan_symbols(self, workers: int) -> float:
+        """Max per-worker symbols after LPT assignment of tasks.
+
+        Models a pool of ``workers`` cores/warps executing the tasks;
+        equals total/workers for balanced work, and the longest task
+        when tasks >> workers does not hold.
+        """
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        w = self.per_task_symbols
+        if len(w) == 0:
+            return 0.0
+        if workers == 1:
+            return float(w.sum())
+        if len(w) <= workers:
+            return float(w.max())
+        heap = [0.0] * workers
+        for v in sorted(w.tolist(), reverse=True):
+            least = heapq.heappop(heap)
+            heapq.heappush(heap, least + v)
+        return max(heap)
+
+
+def summarize_tasks(tasks: list[ThreadTask]) -> WorkloadSummary:
+    """Count payload and overhead symbols across a task list."""
+    per = np.array(
+        [max(0, t.walk_hi - t.walk_lo + 1) for t in tasks], dtype=np.int64
+    )
+    payload = sum(
+        max(0, t.commit_hi - t.commit_lo + 1) for t in tasks
+    )
+    total = int(per.sum())
+    return WorkloadSummary(
+        num_tasks=len(tasks),
+        payload_symbols=payload,
+        overhead_symbols=total - payload,
+        per_task_symbols=per,
+    )

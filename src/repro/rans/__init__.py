@@ -1,0 +1,44 @@
+"""rANS entropy-coding substrate.
+
+Implements the Range variant of Asymmetric Numeral Systems exactly as
+formulated in paper §2 (Definitions 2.1 and 2.2), with the recommended
+parameters of Table 3: 32-bit states, 16-bit renormalization words,
+renormalization lower bound L = 2**16, quantization level n <= 16, and
+32-way interleaving.
+"""
+
+from repro.rans.constants import (
+    DEFAULT_LANES,
+    L_BOUND,
+    MAX_QUANT_BITS,
+    RENORM_BITS,
+    RENORM_MASK,
+    STATE_BITS,
+)
+from repro.rans.model import SymbolModel
+from repro.rans.scalar import ScalarEncoder, ScalarDecoder
+from repro.rans.interleaved import InterleavedEncoder, InterleavedDecoder
+from repro.rans.adaptive import (
+    AdaptiveModelProvider,
+    GaussianModelBank,
+    IndexedModelProvider,
+    StaticModelProvider,
+)
+
+__all__ = [
+    "STATE_BITS",
+    "RENORM_BITS",
+    "RENORM_MASK",
+    "L_BOUND",
+    "MAX_QUANT_BITS",
+    "DEFAULT_LANES",
+    "SymbolModel",
+    "ScalarEncoder",
+    "ScalarDecoder",
+    "InterleavedEncoder",
+    "InterleavedDecoder",
+    "AdaptiveModelProvider",
+    "StaticModelProvider",
+    "IndexedModelProvider",
+    "GaussianModelBank",
+]

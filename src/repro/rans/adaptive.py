@@ -1,0 +1,254 @@
+"""Adaptive (per-symbol-index) probability modelling.
+
+Paper §3.1 lists as a key advantage of recording symbol indices in the
+split metadata that *adaptive coding* remains possible: "the
+probability distribution used in every iteration is dynamic, determined
+using symbol index as a key in many image codecs that use
+hyperprior-based context".  This module provides that machinery:
+
+- :class:`StaticModelProvider` — one model for every index (text and
+  ``rand_*`` experiments).
+- :class:`IndexedModelProvider` — an arbitrary per-index mapping into a
+  bank of models (the div2k/mbt2018-mean experiments: each latent gets
+  a Gaussian whose scale comes from the hyperprior).
+- :class:`GaussianModelBank` — quantized zero-mean Gaussian models over
+  a discrete scale table, mirroring learned-image-codec entropy
+  parameter banks.
+
+All providers expose dense tables (``freq_table``, ``cdf_table``,
+``lut_table``) so the vectorized engines can gather per-symbol
+parameters with single numpy fancy-indexing operations.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.rans.model import SymbolModel
+
+
+class AdaptiveModelProvider:
+    """Base class: a bank of models plus an index→model mapping.
+
+    Subclasses must populate ``_models`` (list of :class:`SymbolModel`
+    sharing one quantization level) and implement
+    :meth:`model_ids_for_range`.
+    """
+
+    def __init__(self, models: list[SymbolModel]) -> None:
+        if not models:
+            raise ModelError("provider needs at least one model")
+        quant = {m.quant_bits for m in models}
+        if len(quant) != 1:
+            raise ModelError(
+                f"all models in a provider must share one quantization "
+                f"level, got {sorted(quant)}"
+            )
+        alpha = {m.alphabet_size for m in models}
+        if len(alpha) != 1:
+            raise ModelError(
+                f"all models in a provider must share one alphabet, "
+                f"got {sorted(alpha)}"
+            )
+        self._models = list(models)
+        self.quant_bits = models[0].quant_bits
+        self.alphabet_size = models[0].alphabet_size
+        self._freq_table: np.ndarray | None = None
+        self._cdf_table: np.ndarray | None = None
+        self._lut_table: np.ndarray | None = None
+
+    # -- dense tables ---------------------------------------------------
+
+    @property
+    def num_models(self) -> int:
+        return len(self._models)
+
+    @property
+    def models(self) -> list[SymbolModel]:
+        return self._models
+
+    @property
+    def freq_table(self) -> np.ndarray:
+        """``(num_models, alphabet)`` uint32 frequency table."""
+        if self._freq_table is None:
+            self._freq_table = np.stack([m.freqs for m in self._models])
+        return self._freq_table
+
+    @property
+    def cdf_table(self) -> np.ndarray:
+        """``(num_models, alphabet + 1)`` uint32 CDF table."""
+        if self._cdf_table is None:
+            self._cdf_table = np.stack([m.cdf for m in self._models])
+        return self._cdf_table
+
+    @property
+    def lut_table(self) -> np.ndarray:
+        """``(num_models, 2**n)`` slot→symbol table."""
+        if self._lut_table is None:
+            self._lut_table = np.stack(
+                [m.slot_to_symbol.astype(np.uint32) for m in self._models]
+            )
+        return self._lut_table
+
+    # -- the index mapping ----------------------------------------------
+
+    def model_ids_for_range(self, start: int, stop: int) -> np.ndarray:
+        """Model ids for 1-based symbol indices ``start..stop-1``.
+
+        Must be overridden; returns an ``intp`` array of length
+        ``stop - start``.
+        """
+        raise NotImplementedError
+
+    def model_for_index(self, index: int) -> SymbolModel:
+        """The model used for 1-based symbol index ``index``."""
+        mid = int(self.model_ids_for_range(index, index + 1)[0])
+        return self._models[mid]
+
+    # -- vectorized gathers ----------------------------------------------
+
+    def gather_freq_cdf(
+        self, data: np.ndarray, start_index: int = 1
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-symbol ``(f, F)`` as uint64 arrays for an encode pass.
+
+        ``data[k]`` is the symbol at 1-based index ``start_index + k``.
+        """
+        n = len(data)
+        ids = self.model_ids_for_range(start_index, start_index + n)
+        f = self.freq_table[ids, data].astype(np.uint64)
+        if np.any(f == 0):
+            bad = int(np.flatnonzero(f == 0)[0])
+            raise ModelError(
+                f"symbol {int(data[bad])} at index {start_index + bad} "
+                "has zero quantized frequency"
+            )
+        cdf = self.cdf_table[ids, data].astype(np.uint64)
+        return f, cdf
+
+    @property
+    def is_static(self) -> bool:
+        return self.num_models == 1
+
+    def table_bytes(self) -> int:
+        """Serialized size of the model table(s), for size accounting."""
+        return sum(len(m.to_bytes()) for m in self._models)
+
+
+class StaticModelProvider(AdaptiveModelProvider):
+    """Every symbol index uses the same model."""
+
+    def __init__(self, model: SymbolModel) -> None:
+        super().__init__([model])
+
+    def model_ids_for_range(self, start: int, stop: int) -> np.ndarray:
+        return np.zeros(stop - start, dtype=np.intp)
+
+
+class IndexedModelProvider(AdaptiveModelProvider):
+    """Explicit per-index model ids (1-based index ``i`` → ``ids[i-1]``)."""
+
+    def __init__(self, models: list[SymbolModel], ids: np.ndarray) -> None:
+        super().__init__(models)
+        ids = np.ascontiguousarray(ids, dtype=np.intp)
+        if ids.ndim != 1:
+            raise ModelError("ids must be 1-D")
+        if ids.size and (ids.min() < 0 or ids.max() >= len(models)):
+            raise ModelError("model id out of range")
+        self.ids = ids
+
+    def model_ids_for_range(self, start: int, stop: int) -> np.ndarray:
+        if start < 1 or stop - 1 > len(self.ids):
+            raise ModelError(
+                f"index range [{start}, {stop}) outside the modelled "
+                f"sequence of length {len(self.ids)}"
+            )
+        return self.ids[start - 1 : stop - 1]
+
+
+class GaussianModelBank:
+    """Bank of quantized zero-mean Gaussian models over a scale table.
+
+    Mirrors the entropy-parameter banks of hyperprior image codecs
+    (Ballé 2018 / Minnen 2018 "mbt2018-mean"): the hyperprior assigns
+    every latent a scale; the codec quantizes the scale to a table and
+    codes the latent with the matching discrete Gaussian.
+
+    Symbols are unsigned: value ``v`` represents the centred residual
+    ``v - center`` where ``center = alphabet_size // 2``.
+    """
+
+    #: CompressAI-style logarithmic scale table bounds.
+    SCALE_MIN = 0.11
+    SCALE_MAX = 256.0
+
+    def __init__(
+        self,
+        quant_bits: int,
+        alphabet_size: int = 65536,
+        num_scales: int = 64,
+        tail_mass: float = 1e-9,
+    ) -> None:
+        self.quant_bits = quant_bits
+        self.alphabet_size = alphabet_size
+        self.center = alphabet_size // 2
+        self.scales = np.exp(
+            np.linspace(
+                math.log(self.SCALE_MIN),
+                math.log(self.SCALE_MAX),
+                num_scales,
+            )
+        )
+        self.tail_mass = tail_mass
+        self._models: list[SymbolModel] | None = None
+
+    def _pmf_for_scale(self, scale: float) -> np.ndarray:
+        """Discrete Gaussian pmf over the alphabet, tails clipped."""
+        from scipy.special import erf
+
+        half_width = min(
+            self.center - 1, max(4, int(math.ceil(8 * scale)) + 2)
+        )
+        lo = self.center - half_width
+        hi = self.center + half_width
+        edges = np.arange(lo, hi + 2, dtype=np.float64) - 0.5 - self.center
+        z = edges / (scale * math.sqrt(2.0))
+        cdf = 0.5 * (1.0 + erf(z))
+        pmf_win = np.diff(cdf)
+        pmf_win = np.maximum(pmf_win, 0.0)
+        pmf_win[pmf_win < self.tail_mass] = 0.0
+        # Always keep the centre encodable.
+        if pmf_win[half_width] == 0.0:
+            pmf_win[half_width] = 1.0
+        pmf = np.zeros(self.alphabet_size, dtype=np.float64)
+        pmf[lo : hi + 1] = pmf_win
+        return pmf
+
+    @property
+    def models(self) -> list[SymbolModel]:
+        """Quantized models, one per scale (built lazily, cached)."""
+        if self._models is None:
+            self._models = [
+                SymbolModel.from_counts(
+                    self._pmf_for_scale(float(s)) * 1e12, self.quant_bits
+                )
+                for s in self.scales
+            ]
+        return self._models
+
+    def scale_to_id(self, scales: np.ndarray) -> np.ndarray:
+        """Quantize continuous scales to table indices (lower bound)."""
+        scales = np.asarray(scales, dtype=np.float64)
+        ids = np.searchsorted(self.scales, scales, side="left")
+        return np.clip(ids, 0, len(self.scales) - 1).astype(np.intp)
+
+    def provider_for_scales(self, scales: np.ndarray) -> IndexedModelProvider:
+        """Build a per-index provider from a per-symbol scale array."""
+        return IndexedModelProvider(self.models, self.scale_to_id(scales))
+
+    def provider_for_ids(self, ids: np.ndarray) -> IndexedModelProvider:
+        """Build a per-index provider from precomputed scale ids."""
+        return IndexedModelProvider(self.models, ids)

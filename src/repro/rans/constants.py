@@ -1,0 +1,69 @@
+"""rANS coder parameters (paper Table 3).
+
+All implementations in this repository share these constants:
+
+====================  =========================================  =======
+symbol                description                                value
+====================  =========================================  =======
+``STATE_BITS``        size of rANS states ``x_i``                32 bits
+``RENORM_BITS``       bits written/read per renormalization b    16 bits
+``L_BOUND``           renormalization lower bound L              2**16
+``MAX_QUANT_BITS``    max PDF/CDF quantization level n           16
+``DEFAULT_LANES``     number of interleaved codecs |E| = |D|     32
+====================  =========================================  =======
+
+The choice ``RENORM_BITS >= n`` guarantees renormalization always
+completes in a single step (paper §4.4, citing Giesen), which both the
+vectorized lane engine and Lemma 3.1 rely on.
+"""
+
+from __future__ import annotations
+
+#: Size of an rANS coder state in bits.  States live in ``[L, 2**32)``
+#: between symbols (the classic streaming-ANS interval ``I``).
+STATE_BITS: int = 32
+
+#: Number of bits emitted to / read from the bitstream per
+#: renormalization step (``b`` in paper Definition 2.2).
+RENORM_BITS: int = 16
+
+#: Bit mask for one renormalization word.
+RENORM_MASK: int = (1 << RENORM_BITS) - 1
+
+#: Renormalization lower bound ``L = k * 2**n``.  The paper picks
+#: ``L = 2**16`` so post-renormalization states fit in 16-bit numbers
+#: (Lemma 3.1).
+L_BOUND: int = 1 << 16
+
+#: Maximum supported probability quantization level ``n``.  The
+#: single-step renormalization requirement is ``b >= n``.
+MAX_QUANT_BITS: int = 16
+
+#: Number of interleaved coders per group (fits a GPU warp and both
+#: AVX implementations in the paper).
+DEFAULT_LANES: int = 32
+
+#: Upper bound on any state value (exclusive).
+STATE_MASK: int = (1 << STATE_BITS) - 1
+
+
+def encoder_upper_bound(freq: int, quant_bits: int) -> int:
+    """Renormalization threshold ``(2**b / 2**n) * L * f`` (Eq. 3).
+
+    A state must be renormalized (shifted down, emitting words) until it
+    is strictly below this bound before encoding a symbol of quantized
+    frequency ``freq`` at quantization level ``quant_bits``.
+
+    With the Table-3 parameters this simplifies to
+    ``freq << (32 - quant_bits)``.
+    """
+    return freq << (RENORM_BITS + 16 - quant_bits)
+
+
+def validate_quant_bits(quant_bits: int) -> None:
+    """Raise ``ValueError`` unless ``1 <= n <= MAX_QUANT_BITS``."""
+    if not 1 <= quant_bits <= MAX_QUANT_BITS:
+        raise ValueError(
+            f"quantization level n must be in [1, {MAX_QUANT_BITS}], "
+            f"got {quant_bits}"
+        )

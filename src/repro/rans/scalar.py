@@ -1,0 +1,237 @@
+"""Scalar (non-interleaved) rANS encoder and decoder.
+
+Direct implementation of paper Equations 1–4.  This is the reference
+codec: the interleaved, Recoil, and vectorized implementations are all
+validated against it in the test suite.  It also backs the
+proof-of-concept of paper §3 / Figure 4 (splitting a single-coder
+bitstream at renormalization points), exercised in
+``examples/single_coder_poc.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import DecodeError, EncodeError
+from repro.rans.constants import (
+    L_BOUND,
+    RENORM_BITS,
+    RENORM_MASK,
+    encoder_upper_bound,
+)
+from repro.rans.model import SymbolModel
+
+
+@dataclass
+class RenormRecord:
+    """One renormalization event observed while encoding.
+
+    Attributes
+    ----------
+    word_position:
+        Index (in 16-bit words) of the *last* word this renormalization
+        appended; a decoder starting here reads downward from it.
+    symbol_index:
+        1-based index of the symbol about to be encoded when the
+        renormalization fired.  A decoder lane initialized from this
+        record performs the renormalization read and then decodes
+        symbol ``symbol_index - 1`` next (for the scalar codec) —
+        i.e. the state is the one *between* symbols
+        ``symbol_index - 1`` and ``symbol_index``.
+    state_after:
+        The post-renormalization state, provably ``< L`` (Lemma 3.1).
+    """
+
+    word_position: int
+    symbol_index: int
+    state_after: int
+
+
+@dataclass
+class ScalarEncodeResult:
+    """Output of :meth:`ScalarEncoder.encode`."""
+
+    words: list[int]
+    final_state: int
+    renorm_records: list[RenormRecord] = field(default_factory=list)
+
+    @property
+    def num_words(self) -> int:
+        return len(self.words)
+
+    def to_bytes(self) -> bytes:
+        out = bytearray()
+        for w in self.words:
+            out += int(w).to_bytes(2, "little")
+        return bytes(out)
+
+
+class ScalarEncoder:
+    """Single-state rANS encoder (Eq. 1 + Eq. 3).
+
+    Parameters
+    ----------
+    model:
+        The quantized symbol model shared with the decoder.
+    record_renorms:
+        When true, every renormalization event is recorded — the raw
+        material for intermediate-position decoding (paper §3.1).
+    """
+
+    def __init__(self, model: SymbolModel, record_renorms: bool = False) -> None:
+        self.model = model
+        self.record_renorms = record_renorms
+
+    def encode(self, symbols) -> ScalarEncodeResult:
+        """Encode ``symbols`` front-to-back into a word stream.
+
+        The decoder will recover them back-to-front (paper §2.1: rANS
+        works like a stack).
+        """
+        model = self.model
+        freqs = model.freqs
+        cdf = model.cdf
+        n = model.quant_bits
+        record = self.record_renorms
+
+        x = L_BOUND
+        words: list[int] = []
+        renorms: list[RenormRecord] = []
+        for i, s in enumerate(symbols, start=1):
+            s = int(s)
+            if s < 0 or s >= len(freqs):
+                raise EncodeError(f"symbol {s} outside alphabet at index {i}")
+            f = int(freqs[s])
+            if f == 0:
+                raise EncodeError(
+                    f"symbol {s} has zero quantized frequency (index {i})"
+                )
+            bound = encoder_upper_bound(f, n)
+            emitted = False
+            while x >= bound:
+                words.append(x & RENORM_MASK)
+                x >>= RENORM_BITS
+                emitted = True
+            if emitted and record:
+                assert x < L_BOUND, "Lemma 3.1 violated"
+                renorms.append(
+                    RenormRecord(
+                        word_position=len(words) - 1,
+                        symbol_index=i,
+                        state_after=x,
+                    )
+                )
+            # Eq. 1: x' = 2**n * (x // f) + F(s) + x mod f
+            x = ((x // f) << n) + int(cdf[s]) + (x % f)
+        return ScalarEncodeResult(
+            words=words, final_state=x, renorm_records=renorms
+        )
+
+
+class ScalarDecoder:
+    """Single-state rANS decoder (Eq. 2 + Eq. 4)."""
+
+    def __init__(self, model: SymbolModel) -> None:
+        self.model = model
+
+    def decode(
+        self,
+        words,
+        final_state: int,
+        num_symbols: int,
+        *,
+        start_word: int | None = None,
+        check_terminal: bool = True,
+    ) -> list[int]:
+        """Decode ``num_symbols`` symbols, returned in encode order.
+
+        Parameters
+        ----------
+        words:
+            The full word stream produced by the encoder.
+        final_state:
+            Either the encoder's final state (full decode) or an
+            intermediate state recorded at a renormalization point
+            (paper §3.1) — in the latter case pass ``start_word`` and
+            ``check_terminal=False``.
+        num_symbols:
+            How many symbols to decode (walking backwards).
+        start_word:
+            Index of the first word to read (reading downward);
+            defaults to the last word of the stream.
+        check_terminal:
+            When true, verify the decoder lands exactly on the initial
+            state ``L`` with the stream fully consumed — a strong
+            integrity check for full-stream decodes.
+        """
+        model = self.model
+        freqs = model.freqs
+        cdf = model.cdf
+        lut = model.slot_to_symbol
+        n = model.quant_bits
+        mask = model.slot_mask
+
+        x = int(final_state)
+        p = len(words) - 1 if start_word is None else int(start_word)
+        out: list[int] = []
+        for _ in range(num_symbols):
+            # Eq. 2: symbol lookup then state restoration.
+            slot = x & mask
+            s = int(lut[slot])
+            x = int(freqs[s]) * (x >> n) + slot - int(cdf[s])
+            # Eq. 4: renormalize by reading words (reverse of emission).
+            while x < L_BOUND:
+                if p < 0:
+                    raise DecodeError(
+                        "bitstream exhausted during renormalization"
+                    )
+                x = (x << RENORM_BITS) | int(words[p])
+                p -= 1
+            out.append(s)
+        if check_terminal and (x != L_BOUND or p != -1):
+            raise DecodeError(
+                f"terminal check failed: state={x:#x} (expected "
+                f"{L_BOUND:#x}), next word index {p} (expected -1)"
+            )
+        out.reverse()
+        return out
+
+    def decode_from_record(
+        self,
+        words,
+        record: RenormRecord,
+        num_symbols: int | None = None,
+    ) -> list[int]:
+        """Decode starting at an intermediate renormalization record.
+
+        This is the paper §3.1 proof of concept (Figure 4): the record's
+        state is the one between symbols ``symbol_index - 1`` and
+        ``symbol_index``, so decoding proceeds from
+        ``symbol_index - 1`` down to symbol 1 (or fewer if
+        ``num_symbols`` is given).  The pending renormalization read is
+        performed first.
+        """
+        available = record.symbol_index - 1
+        if num_symbols is None:
+            num_symbols = available
+        if num_symbols > available:
+            raise DecodeError(
+                f"only {available} symbols precede the record, "
+                f"asked for {num_symbols}"
+            )
+        x = record.state_after
+        p = record.word_position
+        # Undo the recorded renormalization: read until the state is
+        # back above L.  (Exactly mirrors the encoder's emission.)
+        while x < L_BOUND:
+            if p < 0:
+                raise DecodeError("stream exhausted undoing renorm")
+            x = (x << RENORM_BITS) | int(words[p])
+            p -= 1
+        return self.decode(
+            words,
+            x,
+            num_symbols,
+            start_word=p,
+            check_terminal=num_symbols == available,
+        )

@@ -1,0 +1,20 @@
+"""Measurement and reporting utilities."""
+
+from repro.stats.entropy import (
+    empirical_entropy,
+    ideal_compressed_bytes,
+    kl_divergence_bits,
+)
+from repro.stats.report import Table, format_bytes, format_delta
+from repro.stats.timing import Timer, measure_throughput
+
+__all__ = [
+    "empirical_entropy",
+    "ideal_compressed_bytes",
+    "kl_divergence_bits",
+    "Table",
+    "format_bytes",
+    "format_delta",
+    "Timer",
+    "measure_throughput",
+]

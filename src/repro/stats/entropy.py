@@ -1,0 +1,40 @@
+"""Entropy and rate accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def empirical_entropy(data: np.ndarray, alphabet_size: int | None = None) -> float:
+    """Order-0 entropy of a symbol sequence in bits/symbol."""
+    data = np.asarray(data)
+    if data.size == 0:
+        return 0.0
+    counts = np.bincount(data.ravel(), minlength=alphabet_size or 0)
+    p = counts[counts > 0] / data.size
+    return float(-(p * np.log2(p)).sum())
+
+
+def ideal_compressed_bytes(data: np.ndarray) -> float:
+    """Shannon lower bound for order-0 coding of ``data``."""
+    return empirical_entropy(data) * len(data) / 8.0
+
+
+def kl_divergence_bits(
+    counts: np.ndarray, model_probs: np.ndarray
+) -> float:
+    """KL(empirical || model) in bits/symbol — the per-symbol rate
+    penalty a quantized model pays over the empirical distribution.
+
+    Symbols with empirical mass but zero model mass contribute
+    ``inf`` (they are unencodable)."""
+    counts = np.asarray(counts, dtype=np.float64)
+    total = counts.sum()
+    if total <= 0:
+        return 0.0
+    p = counts / total
+    q = np.asarray(model_probs, dtype=np.float64)
+    mask = p > 0
+    if np.any(q[mask] <= 0):
+        return float("inf")
+    return float((p[mask] * np.log2(p[mask] / q[mask])).sum())

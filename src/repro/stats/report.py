@@ -1,0 +1,79 @@
+"""Plain-text table rendering for experiment reports.
+
+The experiment runners print paper-style tables (Table 4/5/6, Figure 3
+and 7 series) to stdout and into EXPERIMENTS.md; this module is the
+tiny formatting layer they share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def format_bytes(n: float) -> str:
+    """Paper convention: 1 KB = 1000 bytes."""
+    if abs(n) >= 1_000_000:
+        return f"{n / 1_000_000:,.2f} MB"
+    if abs(n) >= 1_000:
+        return f"{n / 1_000:,.1f} KB"
+    return f"{n:,.0f} B"
+
+
+def format_delta(delta_bytes: float, base_bytes: float) -> str:
+    """Render like the paper's Tables 5/6: '+163.67 KB +2.09%'."""
+    pct = 100.0 * delta_bytes / base_bytes if base_bytes else 0.0
+    sign = "+" if delta_bytes >= 0 else "-"
+    return (
+        f"{sign}{abs(delta_bytes) / 1000:,.2f} KB "
+        f"{'+' if pct >= 0 else '-'}{abs(pct):.2f}%"
+    )
+
+
+@dataclass
+class Table:
+    """A minimal monospace table builder."""
+
+    headers: list[str]
+    rows: list[list[str]] = field(default_factory=list)
+    title: str = ""
+
+    def add_row(self, *cells) -> None:
+        self.rows.append([str(c) for c in cells])
+
+    def render(self) -> str:
+        cols = len(self.headers)
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            if len(row) != cols:
+                raise ValueError(
+                    f"row has {len(row)} cells, expected {cols}"
+                )
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        sep = "-+-".join("-" * w for w in widths)
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(
+            " | ".join(h.ljust(w) for h, w in zip(self.headers, widths))
+        )
+        lines.append(sep)
+        for row in self.rows:
+            lines.append(
+                " | ".join(c.ljust(w) for c, w in zip(row, widths))
+            )
+        return "\n".join(lines)
+
+    def render_markdown(self) -> str:
+        lines = []
+        if self.title:
+            lines.append(f"**{self.title}**")
+            lines.append("")
+        lines.append("| " + " | ".join(self.headers) + " |")
+        lines.append("|" + "|".join("---" for _ in self.headers) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(row) + " |")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

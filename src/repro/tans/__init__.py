@@ -1,0 +1,28 @@
+"""tANS (table-variant ANS) substrate and the multians baseline.
+
+Built to reproduce baseline (C) of the paper: *multians*
+(Weißenberger & Schmidt, ICPP'19) decodes a single serial tANS
+bitstream massively in parallel by exploiting tANS
+self-synchronization — decoder threads start mid-stream with guessed
+states and converge to the true state after some symbols.
+
+The paper's experimental knobs are reproduced here: the tANS state
+count is 2**12 for the n=11 experiments and raised to 2**16 for n=16
+("we modify the state count only for the n=16 experiment"), where the
+shipped decode-table dump and the self-synchronization overhead both
+blow up — the effect behind multians' collapse in Tables 5/6 and
+Figure 7.
+"""
+
+from repro.tans.table import TansTable
+from repro.tans.codec import TansDecoder, TansEncoder, TansEncodeResult
+from repro.tans.multians import MultiansCodec, MultiansStats
+
+__all__ = [
+    "TansTable",
+    "TansEncoder",
+    "TansDecoder",
+    "TansEncodeResult",
+    "MultiansCodec",
+    "MultiansStats",
+]

@@ -1,0 +1,186 @@
+"""tANS table construction (Duda's tabled ANS, FSE-style).
+
+States live in ``[T, 2T)`` with ``T = 2**table_bits``.  Symbol
+frequencies are quantized to sum ``T``; each symbol ``s`` occupies
+``f_s`` table positions chosen by a zstd-style spread function.
+
+Decoding a state ``x``: the entry at ``x - T`` yields the symbol, a
+bit count ``nb`` and a base; the next state is ``base + readBits(nb)``.
+Encoding is the exact inverse: emit the low ``nb`` bits of ``x`` such
+that ``x >> nb`` lands in ``[f_s, 2 f_s)``, then jump through the
+encode mapping.
+
+Serialization mirrors what *multians* ships to the GPU: a packed
+decode-table dump, 4 bytes per state for 8-bit alphabets
+(``symbol | nb << 8 | base << 16``), which is why the n=16 variant
+costs ~256 KB of side information (Table 6's multians column).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bitio.varint import decode_uvarint, encode_uvarint
+from repro.errors import ContainerError, ModelError
+from repro.rans.model import quantize_counts
+
+
+def spread_symbols(freqs: np.ndarray, table_bits: int) -> np.ndarray:
+    """zstd-style symbol spread over the table positions.
+
+    Walks positions with the coprime stride
+    ``(T >> 1) + (T >> 3) + 3`` so each symbol's occurrences are
+    scattered roughly uniformly — the property that makes tANS states
+    carry fractional bits (and, incidentally, self-synchronize).
+    """
+    T = 1 << table_bits
+    total = int(np.asarray(freqs).sum())
+    if total != T:
+        raise ModelError(
+            f"frequencies must sum to table size {T}, got {total}"
+        )
+    spread = np.empty(T, dtype=np.int64)
+    step = (T >> 1) + (T >> 3) + 3
+    mask = T - 1
+    pos = 0
+    for s, f in enumerate(np.asarray(freqs, dtype=np.int64)):
+        for _ in range(int(f)):
+            spread[pos] = s
+            pos = (pos + step) & mask
+    if pos != 0:
+        raise ModelError("spread walk did not return to origin")
+    return spread
+
+
+class TansTable:
+    """Complete tANS coding tables for one distribution.
+
+    Attributes
+    ----------
+    dec_sym, dec_nb, dec_base:
+        Per-state decode entries (arrays of length ``T``); the decoder
+        for state ``x`` uses index ``x - T``.
+    enc_next, enc_sub_offset:
+        Encode mapping: symbol ``s`` with sub-state ``sub`` (in
+        ``[f_s, 2 f_s)``) transitions to state
+        ``enc_next[enc_sub_offset[s] + sub - f_s]``.
+    """
+
+    def __init__(self, freqs: np.ndarray, table_bits: int) -> None:
+        freqs = np.asarray(freqs, dtype=np.int64)
+        self.table_bits = table_bits
+        self.table_size = 1 << table_bits
+        self.freqs = freqs
+        self.alphabet_size = len(freqs)
+        spread = spread_symbols(freqs, table_bits)
+        self.spread = spread
+
+        T = self.table_size
+        dec_sym = spread.copy()
+        dec_nb = np.empty(T, dtype=np.int64)
+        dec_base = np.empty(T, dtype=np.int64)
+        enc_sub_offset = np.zeros(self.alphabet_size + 1, dtype=np.int64)
+        np.cumsum(freqs, out=enc_sub_offset[1:])
+        enc_next = np.empty(T, dtype=np.int64)
+
+        next_sub = freqs.copy()  # per-symbol counter walking [f, 2f)
+        for p in range(T):
+            s = int(spread[p])
+            sub = int(next_sub[s])
+            next_sub[s] += 1
+            # Bits needed to lift sub back into [T, 2T).
+            nb = table_bits - (sub.bit_length() - 1)
+            dec_nb[p] = nb
+            dec_base[p] = sub << nb
+            enc_next[enc_sub_offset[s] + sub - int(freqs[s])] = T + p
+        self.dec_sym = dec_sym
+        self.dec_nb = dec_nb
+        self.dec_base = dec_base
+        self.enc_next = enc_next
+        self.enc_sub_offset = enc_sub_offset
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_counts(cls, counts: np.ndarray, table_bits: int) -> "TansTable":
+        """Quantize raw counts to the table size and build tables."""
+        return cls(
+            quantize_counts(counts, table_bits).astype(np.int64), table_bits
+        )
+
+    @classmethod
+    def from_data(
+        cls, data: np.ndarray, table_bits: int, alphabet_size: int | None = None
+    ) -> "TansTable":
+        data = np.asarray(data)
+        if alphabet_size is None:
+            alphabet_size = int(data.max()) + 1
+        counts = np.bincount(data.ravel(), minlength=alphabet_size)
+        return cls.from_counts(counts, table_bits)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def entropy_bits_per_symbol(self) -> float:
+        p = self.freqs / self.table_size
+        p = p[p > 0]
+        return float(-(p * np.log2(p)).sum())
+
+    def dump_bytes(self) -> int:
+        """Size of the GPU-ready decode-table dump (what multians
+        transfers): 4 bytes per state for 8-bit alphabets, 5 otherwise,
+        plus a small header."""
+        per_state = 4 if self.alphabet_size <= 256 else 5
+        return per_state * self.table_size + 8
+
+    def to_bytes(self) -> bytes:
+        """Serialize as a decode-table dump (multians wire format)."""
+        out = bytearray()
+        out += encode_uvarint(self.table_bits)
+        out += encode_uvarint(self.alphabet_size)
+        if self.alphabet_size <= 256:
+            packed = (
+                self.dec_sym.astype(np.uint32)
+                | (self.dec_nb.astype(np.uint32) << np.uint32(8))
+                | (self.dec_base.astype(np.uint32) << np.uint32(16))
+            )
+            # base < 2**(table_bits+1) <= 2**17 overflows 16 bits only
+            # when table_bits = 16; use explicit fields there instead.
+            if self.table_bits <= 15:
+                out += packed.astype("<u4").tobytes()
+            else:
+                out += self.dec_sym.astype("<u1").tobytes()
+                out += self.dec_nb.astype("<u1").tobytes()
+                out += self.dec_base.astype("<u4").tobytes()
+        else:
+            out += self.dec_sym.astype("<u2").tobytes()
+            out += self.dec_nb.astype("<u1").tobytes()
+            out += self.dec_base.astype("<u4").tobytes()
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, blob: bytes, offset: int = 0) -> tuple["TansTable", int]:
+        """Rebuild a table from its dump (frequencies are recovered by
+        counting spread occupancy)."""
+        table_bits, pos = decode_uvarint(blob, offset)
+        alphabet, pos = decode_uvarint(blob, pos)
+        T = 1 << table_bits
+        if alphabet <= 256 and table_bits <= 15:
+            packed = np.frombuffer(blob, dtype="<u4", count=T, offset=pos)
+            pos += 4 * T
+            dec_sym = (packed & 0xFF).astype(np.int64)
+        elif alphabet <= 256:
+            dec_sym = np.frombuffer(
+                blob, dtype="<u1", count=T, offset=pos
+            ).astype(np.int64)
+            pos += T + T + 4 * T
+        else:
+            dec_sym = np.frombuffer(
+                blob, dtype="<u2", count=T, offset=pos
+            ).astype(np.int64)
+            pos += 2 * T + T + 4 * T
+        freqs = np.bincount(dec_sym, minlength=alphabet)
+        table = cls(freqs.astype(np.int64), table_bits)
+        if pos > len(blob):
+            raise ContainerError("truncated tANS table dump")
+        return table, pos

@@ -1,0 +1,91 @@
+"""Tests for the high-level public API."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    RecoilCodec,
+    SymbolModel,
+    recoil_compress,
+    recoil_decompress,
+    recoil_shrink,
+)
+from repro.data import synthesize_latents
+from repro.errors import EncodeError
+
+
+class TestFreeFunctions:
+    def test_compress_decompress(self, skewed_bytes):
+        blob = recoil_compress(skewed_bytes, num_splits=32)
+        out = recoil_decompress(blob)
+        assert np.array_equal(out, skewed_bytes)
+
+    def test_default_model_16bit_symbols(self):
+        r = np.random.default_rng(5)
+        data = r.integers(0, 40_000, 5_000).astype(np.uint16)
+        blob = recoil_compress(data, num_splits=8, quant_bits=16)
+        out = recoil_decompress(blob)
+        assert np.array_equal(out, data)
+
+    def test_explicit_model(self, skewed_bytes, model11):
+        blob = recoil_compress(skewed_bytes, num_splits=16, model=model11)
+        assert np.array_equal(recoil_decompress(blob), skewed_bytes)
+
+    def test_empty_rejected(self):
+        with pytest.raises(EncodeError):
+            recoil_compress(np.array([], dtype=np.uint8))
+
+    def test_shrink_roundtrip(self, skewed_bytes):
+        blob = recoil_compress(skewed_bytes, num_splits=64)
+        small = recoil_shrink(blob, 4)
+        assert len(small) < len(blob)
+        assert np.array_equal(recoil_decompress(small), skewed_bytes)
+
+    def test_max_parallelism(self, skewed_bytes):
+        blob = recoil_compress(skewed_bytes, num_splits=64)
+        out = recoil_decompress(blob, max_parallelism=3)
+        assert np.array_equal(out, skewed_bytes)
+
+    def test_compression_beats_raw(self, skewed_bytes):
+        blob = recoil_compress(skewed_bytes, num_splits=16)
+        assert len(blob) < len(skewed_bytes)
+
+
+class TestCodecClass:
+    def test_codec_with_model(self, skewed_bytes, model11):
+        codec = RecoilCodec(model11)
+        blob = codec.compress(skewed_bytes, 16)
+        assert np.array_equal(codec.decompress(blob), skewed_bytes)
+
+    def test_decompress_with_stats(self, skewed_bytes, model11):
+        codec = RecoilCodec(model11)
+        blob = codec.compress(skewed_bytes, 16)
+        res = codec.decompress_with_stats(blob)
+        assert np.array_equal(res.symbols, skewed_bytes)
+        assert res.workload.num_tasks == 16
+        assert res.engine_stats.symbols_decoded >= len(skewed_bytes)
+
+    def test_adaptive_end_to_end(self):
+        """The image-codec path: out-of-band hyperprior models."""
+        plane = synthesize_latents(30_000, seed=13)
+        codec = RecoilCodec(plane.provider)
+        from repro.core import build_container, parse_container
+
+        enc = codec.encode(plane.symbols, 16)
+        blob = build_container(enc, provider=plane.provider, embed_model=False)
+        out = recoil_decompress(blob, provider=plane.provider)
+        assert np.array_equal(out, plane.symbols)
+
+    def test_shrink_method(self, skewed_bytes, model11):
+        codec = RecoilCodec(model11)
+        blob = codec.compress(skewed_bytes, 64)
+        small = codec.shrink(blob, 8)
+        assert np.array_equal(codec.decompress(small), skewed_bytes)
+
+    def test_repeated_use(self, skewed_bytes, model11):
+        codec = RecoilCodec(model11)
+        for chunk in (skewed_bytes[:10_000], skewed_bytes[10_000:30_000]):
+            blob = codec.compress(chunk, 8)
+            assert np.array_equal(codec.decompress(blob), chunk)

@@ -1,0 +1,93 @@
+"""Tests for the ``recoil`` file CLI."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def sample_file(tmp_path, skewed_bytes):
+    path = tmp_path / "input.bin"
+    skewed_bytes[:20_000].tofile(path)
+    return path
+
+
+class TestCli:
+    def test_compress_decompress(self, tmp_path, sample_file, skewed_bytes,
+                                  capsys):
+        blob = tmp_path / "out.rcl"
+        restored = tmp_path / "restored.bin"
+        assert main(["compress", str(sample_file), str(blob),
+                     "--splits", "32"]) == 0
+        assert "32 splits" in capsys.readouterr().out
+        assert main(["decompress", str(blob), str(restored)]) == 0
+        out = np.fromfile(restored, dtype=np.uint8)
+        assert np.array_equal(out, skewed_bytes[:20_000])
+
+    def test_shrink_then_decompress(self, tmp_path, sample_file,
+                                    skewed_bytes):
+        blob = tmp_path / "out.rcl"
+        small = tmp_path / "small.rcl"
+        restored = tmp_path / "restored.bin"
+        main(["compress", str(sample_file), str(blob), "--splits", "64"])
+        assert main(["shrink", str(blob), str(small),
+                     "--threads", "4"]) == 0
+        assert small.stat().st_size < blob.stat().st_size
+        assert main(["decompress", str(small), str(restored)]) == 0
+        out = np.fromfile(restored, dtype=np.uint8)
+        assert np.array_equal(out, skewed_bytes[:20_000])
+
+    def test_decompress_with_cap(self, tmp_path, sample_file, skewed_bytes):
+        blob = tmp_path / "out.rcl"
+        restored = tmp_path / "restored.bin"
+        main(["compress", str(sample_file), str(blob)])
+        assert main(["decompress", str(blob), str(restored),
+                     "--max-parallelism", "2"]) == 0
+        out = np.fromfile(restored, dtype=np.uint8)
+        assert np.array_equal(out, skewed_bytes[:20_000])
+
+    def test_info(self, tmp_path, sample_file, capsys):
+        blob = tmp_path / "out.rcl"
+        main(["compress", str(sample_file), str(blob), "--splits", "16",
+              "--quant", "12"])
+        assert main(["info", str(blob)]) == 0
+        out = capsys.readouterr().out
+        assert "n=12" in out
+        assert "decoder threads:  16" in out
+        assert "sync sections" in out
+
+    def test_missing_file(self, tmp_path, capsys):
+        rc = main(["info", str(tmp_path / "nope.rcl")])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_corrupt_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.rcl"
+        bad.write_bytes(b"not a container at all")
+        rc = main(["info", str(bad)])
+        assert rc == 1
+
+    def test_empty_input_rejected(self, tmp_path, capsys):
+        empty = tmp_path / "empty.bin"
+        empty.write_bytes(b"")
+        rc = main(["compress", str(empty), str(tmp_path / "o.rcl")])
+        assert rc == 2
+
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+
+
+class TestEncodingExperiment:
+    def test_runs(self):
+        from repro.experiments import encoding
+
+        res = encoding.run(dataset="rand_100", profile="ci", splits=32)
+        assert res.rows["recoil per-request shrink (s)"] < res.rows[
+            "conventional per-request re-encode (s)"
+        ]
+        assert "MB/s" in res.table.render()

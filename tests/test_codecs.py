@@ -1,0 +1,162 @@
+"""Tests for the composed codecs (image pipeline, framing)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.codecs import (
+    HyperpriorImageCodec,
+    compress_frames,
+    decompress_frames,
+    frame_info,
+)
+from repro.codecs.framing import shrink_frames
+from repro.data import synthesize_latents
+from repro.errors import ContainerError, EncodeError
+
+
+@pytest.fixture(scope="module")
+def plane():
+    return synthesize_latents(60_000, seed=33)
+
+
+@pytest.fixture(scope="module")
+def image_codec(plane):
+    return HyperpriorImageCodec(plane.bank)
+
+
+@pytest.fixture(scope="module")
+def image_blob(image_codec, plane):
+    return image_codec.compress(plane.symbols, plane.scale_ids, 64)
+
+
+class TestImagePipeline:
+    def test_roundtrip(self, image_codec, image_blob, plane):
+        symbols, ids = image_codec.decompress(image_blob)
+        assert np.array_equal(symbols, plane.symbols)
+        assert np.array_equal(ids, plane.scale_ids)
+
+    def test_rate_beats_raw(self, image_blob, plane):
+        assert len(image_blob) < plane.uncompressed_bytes
+
+    def test_rate_near_model_ideal(self, image_codec, image_blob, plane):
+        """With split metadata combined away, the latent stream lands
+        within ~10% of the model cross-entropy (the hyperprior stream
+        is side information outside ``ideal_bits``)."""
+        from repro.bitio.varint import decode_uvarint
+
+        single = image_codec.shrink(image_blob, 1)
+        pos = 5
+        _, pos = decode_uvarint(single, pos)
+        hyper_len, pos = decode_uvarint(single, pos)
+        latent_bytes = len(single) - pos - hyper_len
+        ideal = plane.ideal_bits() / 8
+        assert latent_bytes < ideal * 1.10 + 512
+        # And the hyperprior stream stays a modest side channel after
+        # the delta transform.
+        assert hyper_len < 2.5 * ideal
+
+    def test_shrink_both_streams(self, image_codec, image_blob, plane):
+        small = image_codec.shrink(image_blob, 4)
+        assert len(small) < len(image_blob)
+        symbols, ids = image_codec.decompress(small)
+        assert np.array_equal(symbols, plane.symbols)
+        assert np.array_equal(ids, plane.scale_ids)
+
+    def test_max_parallelism(self, image_codec, image_blob, plane):
+        symbols, _ = image_codec.decompress(image_blob, max_parallelism=3)
+        assert np.array_equal(symbols, plane.symbols)
+
+    def test_mismatched_lengths_rejected(self, image_codec, plane):
+        with pytest.raises(EncodeError):
+            image_codec.compress(
+                plane.symbols, plane.scale_ids[:-1], 8
+            )
+
+    def test_bad_scale_ids_rejected(self, image_codec, plane):
+        bad = plane.scale_ids.copy()
+        bad[0] = 10_000
+        with pytest.raises(EncodeError):
+            image_codec.compress(plane.symbols, bad, 8)
+
+    def test_bank_mismatch_rejected(self, image_blob):
+        from repro.rans.adaptive import GaussianModelBank
+
+        other = HyperpriorImageCodec(
+            GaussianModelBank(16, num_scales=8)
+        )
+        with pytest.raises(ContainerError):
+            other.decompress(image_blob)
+
+    def test_bad_magic(self, image_codec, image_blob):
+        with pytest.raises(ContainerError):
+            image_codec.decompress(b"NOPE" + image_blob[4:])
+
+
+class TestFraming:
+    def test_roundtrip_multi_frame(self, skewed_bytes):
+        blob = compress_frames(skewed_bytes, frame_symbols=12_000,
+                               num_splits=16)
+        out = decompress_frames(blob)
+        assert np.array_equal(out, skewed_bytes)
+
+    def test_single_frame(self, skewed_bytes):
+        blob = compress_frames(skewed_bytes, frame_symbols=10**9)
+        assert len(frame_info(blob)) == 1
+        assert np.array_equal(decompress_frames(blob), skewed_bytes)
+
+    def test_frame_info(self, skewed_bytes):
+        blob = compress_frames(skewed_bytes, frame_symbols=12_000,
+                               num_splits=16)
+        infos = frame_info(blob)
+        assert len(infos) == -(-len(skewed_bytes) // 12_000)
+        assert sum(i.num_symbols for i in infos) == len(skewed_bytes)
+        assert all(i.num_threads <= 16 for i in infos)
+
+    def test_frames_adapt_to_content(self):
+        """Per-frame models beat one global model on non-stationary
+        data (a fringe benefit of framing)."""
+        r = np.random.default_rng(3)
+        a = np.minimum(np.floor(r.exponential(3.0, 50_000)), 255)
+        b = 255 - np.minimum(np.floor(r.exponential(3.0, 50_000)), 255)
+        data = np.concatenate([a, b]).astype(np.uint8)
+        framed = compress_frames(data, frame_symbols=50_000, num_splits=8)
+        single = compress_frames(data, frame_symbols=10**9, num_splits=8)
+        assert len(framed) < len(single)
+        assert np.array_equal(decompress_frames(framed), data)
+
+    def test_shrink_frames(self, skewed_bytes):
+        blob = compress_frames(skewed_bytes, frame_symbols=12_000,
+                               num_splits=32)
+        small = shrink_frames(blob, 4)
+        assert len(small) < len(blob)
+        assert np.array_equal(decompress_frames(small), skewed_bytes)
+        assert all(i.num_threads <= 4 for i in frame_info(small))
+
+    def test_max_parallelism(self, skewed_bytes):
+        blob = compress_frames(skewed_bytes, frame_symbols=20_000)
+        out = decompress_frames(blob, max_parallelism=2)
+        assert np.array_equal(out, skewed_bytes)
+
+    def test_empty_input(self):
+        blob = compress_frames(np.array([], dtype=np.uint8))
+        assert decompress_frames(blob).size == 0
+
+    def test_corrupt_magic(self, skewed_bytes):
+        blob = compress_frames(skewed_bytes[:5000])
+        with pytest.raises(ContainerError):
+            decompress_frames(b"XXXX" + blob[4:])
+
+    def test_truncated_frame(self, skewed_bytes):
+        blob = compress_frames(skewed_bytes[:5000])
+        with pytest.raises(ContainerError):
+            decompress_frames(blob[:-20])
+
+    def test_2d_rejected(self):
+        with pytest.raises(EncodeError):
+            compress_frames(np.zeros((4, 4), dtype=np.uint8))
+
+    def test_bad_frame_symbols(self, skewed_bytes):
+        with pytest.raises(EncodeError):
+            compress_frames(skewed_bytes, frame_symbols=0)

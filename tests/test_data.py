@@ -1,0 +1,134 @@
+"""Tests for the dataset generators and registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    DATASETS,
+    exponential_bytes,
+    load_dataset,
+    synthesize_latents,
+    text_surrogate,
+)
+from repro.data.images import LatentPlane
+from repro.data.registry import BYTE_DATASETS, IMAGE_DATASETS
+from repro.data.textgen import blended_distribution
+from repro.stats import empirical_entropy
+
+
+class TestExponentialBytes:
+    def test_deterministic(self):
+        a = exponential_bytes(10_000, 100, seed=1)
+        b = exponential_bytes(10_000, 100, seed=1)
+        assert np.array_equal(a, b)
+        c = exponential_bytes(10_000, 100, seed=2)
+        assert not np.array_equal(a, c)
+
+    def test_entropy_ladder(self):
+        """Larger lambda -> lower entropy (paper Table 4 ordering)."""
+        ents = [
+            empirical_entropy(exponential_bytes(100_000, lam, seed=0))
+            for lam in (10, 50, 100, 200, 500)
+        ]
+        assert ents == sorted(ents, reverse=True)
+        assert 5.5 < ents[0] < 6.8  # rand_10 ~ 6.26 bits in the paper
+        assert ents[-1] < 1.5  # rand_500 ~ 1.12 bits
+
+    def test_byte_range(self):
+        data = exponential_bytes(50_000, 10, seed=0)
+        assert data.dtype == np.uint8
+        assert data.max() <= 255
+
+    def test_bad_lambda(self):
+        with pytest.raises(ValueError):
+            exponential_bytes(10, 0)
+
+
+class TestTextSurrogate:
+    @pytest.mark.parametrize("target", [4.9, 5.29, 6.5])
+    def test_entropy_hits_target(self, target):
+        data = text_surrogate(200_000, target, seed=0)
+        assert abs(empirical_entropy(data, 256) - target) < 0.05
+
+    def test_unreachable_target_rejected(self):
+        with pytest.raises(ValueError):
+            text_surrogate(100, 9.0)
+        with pytest.raises(ValueError):
+            text_surrogate(100, 1.0)
+
+    def test_looks_textish(self):
+        data = text_surrogate(100_000, 5.0, seed=0)
+        printable = np.mean((data >= 32) & (data < 127))
+        assert printable > 0.9
+        assert np.argmax(np.bincount(data)) == ord(" ")
+
+    def test_blend_distribution_normalized(self):
+        p = blended_distribution(5.3)
+        assert p.sum() == pytest.approx(1.0)
+
+
+class TestLatents:
+    def test_plane_structure(self):
+        plane = synthesize_latents(20_000, seed=0)
+        assert isinstance(plane, LatentPlane)
+        assert plane.num_symbols == 20_000
+        assert plane.symbols.dtype == np.uint16
+        assert plane.uncompressed_bytes == 40_000
+        assert len(plane.scale_ids) == 20_000
+
+    def test_scale_field_is_smooth(self):
+        """Neighbouring latents share scales (the hyperprior effect)."""
+        plane = synthesize_latents(20_000, seed=1)
+        same_as_next = np.mean(
+            plane.scale_ids[:-1] == plane.scale_ids[1:]
+        )
+        assert same_as_next > 0.5
+
+    def test_compressibility_knob(self):
+        lo = synthesize_latents(30_000, log_scale_mean=0.3, seed=2)
+        hi = synthesize_latents(30_000, log_scale_mean=3.0, seed=2)
+        assert lo.ideal_bits() < hi.ideal_bits()
+
+    def test_symbols_within_model_support(self):
+        plane = synthesize_latents(10_000, seed=3)
+        for mid in np.unique(plane.scale_ids):
+            mask = plane.scale_ids == mid
+            freqs = plane.bank.models[int(mid)].freqs
+            assert np.all(freqs[plane.symbols[mask]] > 0)
+
+
+class TestRegistry:
+    def test_all_names_present(self):
+        assert set(BYTE_DATASETS + IMAGE_DATASETS) == set(DATASETS)
+        assert len(DATASETS) == 12  # paper Table 4
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            load_dataset("nope")
+
+    def test_ci_profile_small(self):
+        data = load_dataset("rand_10", "ci")
+        assert len(data) <= 1_000_000
+
+    def test_scaling_profiles(self):
+        spec = DATASETS["dickens"]
+        assert spec.size_for("ci") < spec.size_for("default")
+        assert spec.size_for("default") <= spec.size_for("paper")
+        assert spec.size_for("paper") == spec.paper_bytes
+
+    def test_enwik9_capped_on_default(self):
+        assert DATASETS["enwik9"].size_for("default") <= 48_000_000
+
+    def test_image_datasets_are_planes(self):
+        plane = load_dataset("div2k805", "ci")
+        assert isinstance(plane, LatentPlane)
+
+    def test_image_ratios_ordered_like_paper(self):
+        """805 most compressible, 803 least (paper Table 4/6)."""
+        bits = {}
+        for name in IMAGE_DATASETS:
+            plane = load_dataset(name, "ci")
+            bits[name] = plane.ideal_bits() / plane.num_symbols
+        assert bits["div2k805"] < bits["div2k801"] < bits["div2k803"]

@@ -1,0 +1,58 @@
+"""Tests for real-thread pooled decoding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.decoder import build_thread_tasks
+from repro.core.encoder import RecoilEncoder
+from repro.errors import ParallelismError
+from repro.parallel.executor import decode_with_pool
+
+
+@pytest.fixture(scope="module")
+def encoded(skewed_bytes, model11):
+    return RecoilEncoder(model11).encode(skewed_bytes, num_threads=24)
+
+
+@pytest.fixture(scope="module")
+def tasks(encoded):
+    return build_thread_tasks(
+        encoded.metadata, len(encoded.words), encoded.final_states
+    )
+
+
+class TestPoolDecode:
+    @pytest.mark.parametrize("workers", [1, 2, 4, 7])
+    def test_roundtrip(self, encoded, tasks, provider11, skewed_bytes, workers):
+        res = decode_with_pool(
+            provider11, 32, encoded.words, tasks,
+            encoded.num_symbols, np.uint8, workers,
+        )
+        assert np.array_equal(res.symbols, skewed_bytes)
+        assert res.workers == min(workers, len(tasks))
+
+    def test_stats_cover_all_work(self, encoded, tasks, provider11):
+        res = decode_with_pool(
+            provider11, 32, encoded.words, tasks,
+            encoded.num_symbols, np.uint8, 4,
+        )
+        assert len(res.per_worker_stats) == res.workers
+        assert res.total_symbols_decoded >= encoded.num_symbols
+
+    def test_more_workers_than_tasks(self, encoded, tasks, provider11,
+                                     skewed_bytes):
+        res = decode_with_pool(
+            provider11, 32, encoded.words, tasks,
+            encoded.num_symbols, np.uint8, 100,
+        )
+        assert res.workers == len(tasks)
+        assert np.array_equal(res.symbols, skewed_bytes)
+
+    def test_zero_workers_rejected(self, encoded, tasks, provider11):
+        with pytest.raises(ParallelismError):
+            decode_with_pool(
+                provider11, 32, encoded.words, tasks,
+                encoded.num_symbols, np.uint8, 0,
+            )

@@ -1,0 +1,147 @@
+"""Smoke + shape tests for the experiment reproductions.
+
+Full-profile runs are `recoil-bench`'s job; here each experiment runs
+on tiny datasets and the paper's qualitative claims are asserted.
+"""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.data import exponential_bytes, load_dataset
+from repro.experiments import build_variations, figure3, figure7, table4, tables56
+from repro.experiments.common import provider_for
+from repro.experiments.tables56 import headline_saving
+
+
+@pytest.fixture(scope="module")
+def small_variations():
+    data = exponential_bytes(250_000, lam=100, seed=50)
+    return build_variations(
+        "rand_100", data, 11, large=256, small=8, include_multians=True
+    )
+
+
+class TestVariations:
+    def test_all_variations_present(self, small_variations):
+        assert set(small_variations.sizes) == set("abcdef")
+
+    def test_all_variations_decode(self, small_variations):
+        """Every variation's container decodes back to the input."""
+        art = small_variations
+        from repro.baselines import ConventionalCodec, SingleThreadCodec
+        from repro.core import RecoilCodec
+        from repro.tans import MultiansCodec, TansTable
+
+        st = SingleThreadCodec(art.provider)
+        assert np.array_equal(st.decompress(art.blobs["a"]), art.data)
+        conv = ConventionalCodec(art.provider)
+        for v in ("b", "d"):
+            assert np.array_equal(conv.decompress(art.blobs[v]), art.data)
+        rc = RecoilCodec(art.provider)
+        for v in ("c", "e"):
+            assert np.array_equal(rc.decompress(art.blobs[v]), art.data)
+        table = TansTable.from_data(art.data, 12, alphabet_size=256)
+        enc, tab = MultiansCodec(table).parse(art.blobs["f"])
+        out, _ = MultiansCodec(tab).parallel_decode(enc, tab, 16)
+        assert np.array_equal(out.astype(art.data.dtype), art.data)
+
+    def test_ordering_claims(self, small_variations):
+        art = small_variations
+        assert art.sizes["c"] < art.sizes["b"]  # Recoil wins Large
+        assert art.sizes["e"] <= art.sizes["d"]  # and Small
+        assert art.sizes["e"] < art.sizes["c"]  # combining helps
+        assert art.delta("d") < art.delta("b") / 5
+        assert art.sizes["a"] < len(art.data)  # it does compress
+
+    def test_image_variations_no_multians(self):
+        plane = load_dataset("div2k805", "ci")
+        art = build_variations(
+            "div2k805", plane, 16, large=64, small=8
+        )
+        assert "f" not in art.sizes
+        assert art.sizes["c"] < art.sizes["b"]
+
+
+class TestFigure3:
+    def test_monotone(self):
+        res = figure3.run(profile="ci")
+        assert res.sizes[0] < res.sizes[1] < res.sizes[2]
+        assert res.deltas_percent[0] == 0.0
+
+
+class TestTable4:
+    def test_rows(self):
+        res = table4.run(profile="ci", datasets=["rand_50", "div2k801"])
+        assert "n11" in res.rows["rand_50"]
+        assert "n11" not in res.rows["div2k801"]
+        assert res.rows["rand_50"]["n16"] > 0
+
+
+class TestTables56:
+    def test_shape_checks_pass(self):
+        res = tables56.run(
+            11, profile="ci", datasets=["rand_100", "dickens"]
+        )
+        checks = res.shape_checks()
+        assert all(checks.values()), checks
+
+    def test_headline_negative(self):
+        res = tables56.run(11, profile="ci", datasets=["rand_500"])
+        name, saving = headline_saving(res)
+        assert name == "rand_500"
+        assert saving < -1.0
+
+
+class TestFigure7:
+    @pytest.fixture(scope="class")
+    def res(self):
+        return figure7.run(
+            11, profile="ci", datasets=["rand_100"],
+            multians_decode_cap=150_000,
+        )
+
+    def test_panel_complete(self, res):
+        cpu = {p.codec for p in res.points if p.device == "cpu"}
+        gpu = {p.codec for p in res.points if p.device == "gpu"}
+        assert len(cpu) == 6
+        assert gpu == {"multians", "Conventional CUDA", "Recoil CUDA"}
+
+    def test_orderings(self, res):
+        s = res.series
+        name = "rand_100"
+        assert s("Conventional AVX512", "cpu")[name] > 4 * s(
+            "Single-Thread AVX512", "cpu"
+        )[name]
+        assert s("Recoil CUDA", "gpu")[name] > 3 * s("multians", "gpu")[name]
+
+    def test_tables_render(self, res):
+        assert "Recoil" in res.cpu_table.render()
+        assert "multians" in res.gpu_table.render()
+
+
+class TestRunner:
+    def test_runner_subset(self):
+        from repro.experiments import runner
+
+        buf = io.StringIO()
+        results = runner.run_all("ci", ("fig3",), stream=buf)
+        assert "fig3" in results
+        assert "Figure 3" in buf.getvalue()
+
+    def test_runner_cli_rejects_unknown(self):
+        from repro.experiments import runner
+
+        with pytest.raises(SystemExit):
+            runner.main(["--experiments", "bogus"])
+
+    def test_emit_report(self):
+        from repro.experiments import runner
+
+        buf = io.StringIO()
+        results = {"fig3": figure3.run(profile="ci")}
+        runner.emit_report(results, buf)
+        assert "|" in buf.getvalue()  # markdown table present

@@ -1,0 +1,185 @@
+"""Tests for the interleaved rANS codec (§2.2, Figure 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DecodeError, EncodeError
+from repro.rans.adaptive import StaticModelProvider
+from repro.rans.constants import L_BOUND
+from repro.rans.interleaved import InterleavedDecoder, InterleavedEncoder
+from repro.rans.model import SymbolModel
+from repro.rans.scalar import ScalarEncoder
+
+
+@pytest.fixture(scope="module", params=[1, 2, 7, 32])
+def lanes(request):
+    return request.param
+
+
+@pytest.fixture(scope="module")
+def enc_result(skewed_bytes, model11, lanes):
+    return InterleavedEncoder(model11, lanes=lanes).encode(
+        skewed_bytes[:20_000], record_events=True
+    )
+
+
+class TestInterleavedRoundtrip:
+    def test_roundtrip(self, enc_result, skewed_bytes, model11, lanes):
+        dec = InterleavedDecoder(model11, lanes=lanes)
+        out = dec.decode(enc_result.words, enc_result.final_states, 20_000)
+        assert np.array_equal(out, skewed_bytes[:20_000])
+
+    def test_vectorized_matches_reference(
+        self, enc_result, model11, lanes
+    ):
+        """The numpy engine is bit-identical to the pure-Python loop
+        (the paper's debug implementation)."""
+        dec = InterleavedDecoder(model11, lanes=lanes)
+        fast = dec.decode(enc_result.words, enc_result.final_states, 20_000)
+        ref = dec.decode_reference(
+            enc_result.words, enc_result.final_states, 20_000
+        )
+        assert np.array_equal(fast, ref)
+
+    def test_one_lane_matches_scalar(self, skewed_bytes, model11):
+        """K=1 interleaved must produce the scalar bitstream."""
+        data = skewed_bytes[:5_000]
+        inter = InterleavedEncoder(model11, lanes=1).encode(data)
+        scal = ScalarEncoder(model11).encode(data)
+        assert inter.words.tolist() == scal.words
+        assert int(inter.final_states[0]) == scal.final_state
+
+    def test_compression_near_entropy(self, enc_result, model11, lanes):
+        bits = 16 * enc_result.num_words + 32 * lanes
+        assert bits / 20_000 < model11.entropy_bits_per_symbol + 0.2
+
+    @pytest.mark.parametrize("n", [0, 1, 31, 32, 33, 63, 65])
+    def test_edge_lengths(self, skewed_bytes, model11, n):
+        data = skewed_bytes[:n]
+        enc = InterleavedEncoder(model11, lanes=32).encode(data)
+        out = InterleavedDecoder(model11, lanes=32).decode(
+            enc.words, enc.final_states, n
+        )
+        assert np.array_equal(out, data)
+
+    def test_n16_roundtrip(self, skewed_bytes, model16):
+        """n=16 admits first-group renormalization (f=1, x=L) — the
+        trickiest parameter point."""
+        data = skewed_bytes[:10_000]
+        enc = InterleavedEncoder(model16, lanes=32).encode(data)
+        out = InterleavedDecoder(model16, lanes=32).decode(
+            enc.words, enc.final_states, len(data)
+        )
+        assert np.array_equal(out, data)
+
+    def test_16bit_symbols(self):
+        r = np.random.default_rng(9)
+        data = r.integers(0, 5000, 8_000).astype(np.uint16)
+        model = SymbolModel.from_data(data, 16, alphabet_size=8192)
+        enc = InterleavedEncoder(model).encode(data)
+        out = InterleavedDecoder(model).decode(
+            enc.words, enc.final_states, len(data)
+        )
+        assert out.dtype == np.uint16
+        assert np.array_equal(out, data)
+
+    def test_2d_input_rejected(self, model11):
+        with pytest.raises(EncodeError):
+            InterleavedEncoder(model11).encode(np.zeros((2, 2), dtype=int))
+
+    def test_wrong_final_state_count(self, enc_result, model11, lanes):
+        with pytest.raises(DecodeError):
+            InterleavedDecoder(model11, lanes=lanes).decode(
+                enc_result.words,
+                np.concatenate([enc_result.final_states, [L_BOUND]]),
+                20_000,
+            )
+
+    def test_truncated_words_detected(self, enc_result, model11, lanes):
+        with pytest.raises(DecodeError):
+            InterleavedDecoder(model11, lanes=lanes).decode(
+                enc_result.words[: max(0, enc_result.num_words // 2)],
+                enc_result.final_states,
+                20_000,
+            )
+
+    def test_terminal_check_detects_extra_words(
+        self, enc_result, model11, lanes
+    ):
+        padded = np.concatenate(
+            [np.array([0xABCD], dtype=np.uint16), enc_result.words]
+        )
+        with pytest.raises(DecodeError):
+            InterleavedDecoder(model11, lanes=lanes).decode(
+                padded, enc_result.final_states, 20_000
+            )
+
+
+class TestRenormEvents:
+    def test_event_per_word(self, enc_result):
+        """b >= n: exactly one event per emitted word (paper §3.2)."""
+        assert len(enc_result.events) == enc_result.num_words
+
+    def test_lemma_3_1_vectorized(self, enc_result):
+        assert np.all(
+            np.asarray(enc_result.events.state_after) < L_BOUND
+        )
+
+    def test_events_strictly_increasing(self, enc_result):
+        sym = np.asarray(enc_result.events.symbol_index, dtype=np.int64)
+        assert np.all(np.diff(sym) > 0)
+
+    def test_event_lane_consistency(self, enc_result, lanes):
+        """Event lane must be the owner of its symbol index."""
+        sym = np.asarray(enc_result.events.symbol_index, dtype=np.int64)
+        lane = np.asarray(enc_result.events.lane, dtype=np.int64)
+        assert np.array_equal((sym - 1) % lanes, lane)
+
+    def test_getitem(self, enc_result):
+        if len(enc_result.events) == 0:
+            pytest.skip("no events")
+        sym, lane, state = enc_result.events[0]
+        assert state < L_BOUND
+        assert sym >= 1
+
+    def test_no_events_when_disabled(self, skewed_bytes, model11):
+        enc = InterleavedEncoder(model11).encode(skewed_bytes[:1000])
+        assert enc.events is None
+
+
+class TestProviderHandling:
+    def test_provider_wrapping(self, model11):
+        enc = InterleavedEncoder(StaticModelProvider(model11))
+        assert enc.provider.is_static
+
+    def test_bad_lane_count(self, model11):
+        with pytest.raises(EncodeError):
+            InterleavedEncoder(model11, lanes=0)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    n=st.integers(min_value=8, max_value=16),
+    lanes=st.sampled_from([1, 3, 8, 32]),
+    length=st.integers(min_value=0, max_value=600),
+)
+@settings(max_examples=40, deadline=None)
+def test_interleaved_roundtrip_property(seed, n, lanes, length):
+    """Roundtrip across random models, lane counts, lengths, quant."""
+    r = np.random.default_rng(seed)
+    alphabet = int(r.integers(2, 64))
+    counts = r.integers(1, 50, alphabet)
+    model = SymbolModel.from_counts(counts, n)
+    data = r.integers(0, alphabet, length)
+    enc = InterleavedEncoder(model, lanes=lanes).encode(
+        data, record_events=True
+    )
+    dec = InterleavedDecoder(model, lanes=lanes)
+    out = dec.decode(enc.words, enc.final_states, length)
+    assert np.array_equal(out, data.astype(out.dtype))
+    if enc.events is not None:
+        assert np.all(np.asarray(enc.events.state_after) < L_BOUND)
+        assert len(enc.events) == enc.num_words

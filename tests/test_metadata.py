@@ -1,0 +1,170 @@
+"""Tests for Recoil split metadata and combining (§3.3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.metadata import RecoilMetadata, SplitEntry
+from repro.errors import MetadataError
+
+
+def make_entry(offset: int, base_index: int, lanes: int = 4) -> SplitEntry:
+    """Entry whose lane indices sit in consecutive groups near
+    base_index (keeping each index on its own lane)."""
+    j = np.arange(lanes)
+    group = base_index // lanes + 1
+    indices = (group - 1) * lanes + j + 1
+    # Push one lane a group back for a non-trivial sync section.
+    if group >= 2:
+        indices = indices.copy()
+        indices[0] -= lanes
+    states = np.full(lanes, 77, dtype=np.uint32)
+    return SplitEntry(offset, indices, states)
+
+
+class TestSplitEntry:
+    def test_derived_indices(self):
+        e = make_entry(40, 40)
+        assert e.split_index == max(e.lane_indices)
+        assert e.sync_complete_index == min(e.lane_indices)
+        assert (
+            e.sync_section_length
+            == e.split_index - e.sync_complete_index + 1
+        )
+
+    def test_group_ids_roundtrip(self):
+        e = make_entry(40, 40)
+        g = e.group_ids(4)
+        back = SplitEntry.from_group_ids(e.word_offset, g, e.lane_states)
+        assert np.array_equal(back.lane_indices, e.lane_indices)
+
+    def test_group_ids_reject_wrong_lane(self):
+        # index 5 on lane 0 (expects indices ≡ 1 mod 4)
+        e = SplitEntry(0, np.array([6, 2, 3, 4]), np.zeros(4, np.uint32))
+        with pytest.raises(MetadataError):
+            e.group_ids(4)
+
+    def test_nonpositive_index_rejected(self):
+        with pytest.raises(MetadataError):
+            SplitEntry(0, np.array([0, 2, 3, 4]), np.zeros(4, np.uint32))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(MetadataError):
+            SplitEntry(0, np.array([1, 2]), np.zeros(3, np.uint32))
+
+
+class TestRecoilMetadata:
+    def make_md(self, n=1000, words=500, lanes=4, bases=(100, 300, 600)):
+        entries = [make_entry(10 * (i + 1), b, lanes) for i, b in enumerate(bases)]
+        return RecoilMetadata(n, words, lanes, entries)
+
+    def test_num_threads(self):
+        md = self.make_md()
+        assert md.num_threads == 4
+
+    def test_thread_plan_partitions_sequence(self):
+        """Commit ranges must tile [1, N] exactly, in order."""
+        md = self.make_md()
+        plan = md.thread_plan()
+        expected_next = 1
+        for item in plan:
+            assert item["commit_lo"] == expected_next
+            assert item["commit_hi"] >= item["commit_lo"] - 1
+            expected_next = item["commit_hi"] + 1
+        assert expected_next == md.num_symbols + 1
+
+    def test_thread_plan_walks_cover_commits(self):
+        md = self.make_md()
+        for item in md.thread_plan():
+            assert item["walk_lo"] <= item["commit_lo"]
+            assert item["walk_hi"] >= item["commit_hi"]
+
+    def test_walk_overlap_is_sync_sections(self):
+        md = self.make_md()
+        plan = md.thread_plan()
+        total_walk = sum(p["walk_hi"] - p["walk_lo"] + 1 for p in plan)
+        assert total_walk == md.num_symbols + md.sync_overhead_symbols()
+
+    def test_entries_must_be_ordered(self):
+        e1 = make_entry(20, 100)
+        e2 = make_entry(10, 300)
+        with pytest.raises(MetadataError):
+            RecoilMetadata(1000, 500, 4, [e1, e2])
+
+    def test_overlapping_sync_sections_rejected(self):
+        e1 = make_entry(10, 100)
+        e2 = make_entry(20, 100)  # same indices: C2 <= S1
+        with pytest.raises(MetadataError):
+            RecoilMetadata(1000, 500, 4, [e1, e2])
+
+    def test_split_beyond_sequence_rejected(self):
+        with pytest.raises(MetadataError):
+            RecoilMetadata(50, 500, 4, [make_entry(10, 100)])
+
+    def test_offset_beyond_stream_rejected(self):
+        with pytest.raises(MetadataError):
+            RecoilMetadata(1000, 5, 4, [make_entry(10, 100)])
+
+    def test_lane_count_mismatch_rejected(self):
+        with pytest.raises(MetadataError):
+            RecoilMetadata(1000, 500, 8, [make_entry(10, 100, lanes=4)])
+
+
+class TestCombine:
+    def make_md(self, num_entries=20, lanes=4):
+        entries = [
+            make_entry(20 * (i + 1), 50 * (i + 1), lanes)
+            for i in range(num_entries)
+        ]
+        # Entries span the sequence (last split near N) so balanced
+        # combining is actually possible.
+        n = 50 * num_entries + 60
+        return RecoilMetadata(n, 20 * num_entries + 50, lanes, entries)
+
+    def test_combine_to_fewer(self):
+        md = self.make_md()
+        small = md.combine(5)
+        assert small.num_threads == 5
+        # Entries must be a subset of the originals.
+        original = {e.word_offset for e in md.entries}
+        assert all(e.word_offset in original for e in small.entries)
+
+    def test_combine_to_one(self):
+        small = self.make_md().combine(1)
+        assert small.num_threads == 1
+        assert small.entries == []
+
+    def test_combine_no_op_when_target_larger(self):
+        md = self.make_md(num_entries=3)
+        assert md.combine(10).num_threads == 4
+
+    def test_combine_keeps_balance(self):
+        """Chosen splits approximate equal symbol coverage."""
+        md = self.make_md(num_entries=40)
+        small = md.combine(5)
+        splits = [e.split_index for e in small.entries]
+        ideal = [md.num_symbols * k / 5 for k in range(1, 5)]
+        for s, t in zip(splits, ideal):
+            assert abs(s - t) < md.num_symbols / 5
+
+    def test_combine_valid_metadata(self):
+        small = self.make_md().combine(7)
+        small.validate()
+
+    def test_combine_idempotent(self):
+        md = self.make_md()
+        once = md.combine(6)
+        twice = once.combine(6)
+        assert [e.word_offset for e in once.entries] == [
+            e.word_offset for e in twice.entries
+        ]
+
+    def test_combine_monotone_nesting_sizes(self):
+        md = self.make_md(num_entries=30)
+        sizes = [len(md.combine(t).entries) for t in (31, 16, 8, 4, 2, 1)]
+        assert sizes == [30, 15, 7, 3, 1, 0]
+
+    def test_bad_target_rejected(self):
+        with pytest.raises(MetadataError):
+            self.make_md().combine(0)

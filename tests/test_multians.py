@@ -1,0 +1,95 @@
+"""Tests for the multians self-synchronizing parallel decoder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ContainerError
+from repro.tans import MultiansCodec, TansTable
+from repro.tans.multians import measure_sync_length
+
+
+@pytest.fixture(scope="module")
+def codec(skewed_bytes):
+    table = TansTable.from_data(skewed_bytes, 11, alphabet_size=256)
+    return MultiansCodec(table)
+
+
+@pytest.fixture(scope="module")
+def blob(codec, skewed_bytes):
+    return codec.compress(skewed_bytes)
+
+
+class TestMultiansCorrectness:
+    @pytest.mark.parametrize("threads", [1, 2, 8, 32, 128])
+    def test_roundtrip_any_thread_count(
+        self, codec, blob, skewed_bytes, threads
+    ):
+        out, stats = codec.decompress(blob, num_threads=threads)
+        assert np.array_equal(out, skewed_bytes)
+        assert stats.threads <= max(threads, 1)
+
+    def test_container_fields(self, codec, blob, skewed_bytes):
+        enc, table = codec.parse(blob)
+        assert enc.num_symbols == len(skewed_bytes)
+        assert table.table_bits == 11
+
+    def test_bad_magic(self, codec, blob):
+        with pytest.raises(ContainerError):
+            codec.parse(b"XXXX" + blob[4:])
+
+    def test_truncated_payload(self, codec, blob):
+        with pytest.raises(ContainerError):
+            codec.parse(blob[: len(blob) // 2])
+
+    def test_empty_input(self, codec):
+        blob = codec.compress(np.array([], dtype=np.uint8))
+        out, stats = codec.decompress(blob, num_threads=8)
+        assert len(out) == 0
+
+    def test_small_input_serial_fallback(self, codec, skewed_bytes):
+        blob = codec.compress(skewed_bytes[:40])
+        out, stats = codec.decompress(blob, num_threads=64)
+        assert np.array_equal(out, skewed_bytes[:40])
+
+
+class TestMultiansStats:
+    def test_overlap_measured(self, codec, blob):
+        _, stats = codec.decompress(blob, num_threads=16)
+        assert len(stats.overlap_symbols) == stats.threads - 1
+        assert stats.total_overlap >= 0
+        # With 50k symbols / 16 threads the chunks are larger than
+        # typical sync lengths — most threads must synchronize.
+        assert stats.unsynced_threads < stats.threads // 2
+
+    def test_per_thread_symbols(self, codec, blob, skewed_bytes):
+        _, stats = codec.decompress(blob, num_threads=16)
+        per = stats.per_thread_symbols
+        assert len(per) == stats.threads
+        assert per.sum() >= len(skewed_bytes)
+
+    def test_more_threads_smaller_chunks(self, codec, blob):
+        _, s8 = codec.decompress(blob, num_threads=8)
+        _, s32 = codec.decompress(blob, num_threads=32)
+        assert s32.chunk_symbols < s8.chunk_symbols
+
+
+class TestSyncLength:
+    def test_sync_length_positive(self, codec, blob):
+        enc, table = codec.parse(blob)
+        sync = measure_sync_length(table, enc, samples=4,
+                                   window_symbols=30_000)
+        assert 0 < sync < 30_000
+
+    def test_sync_grows_with_state_count(self, skewed_bytes):
+        """The n=16 collapse driver: bigger tables sync slower."""
+        syncs = {}
+        for tb in (10, 14):
+            table = TansTable.from_data(skewed_bytes, tb, alphabet_size=256)
+            mc = MultiansCodec(table)
+            enc, _ = mc.parse(mc.compress(skewed_bytes))
+            syncs[tb] = measure_sync_length(
+                table, enc, samples=6, window_symbols=40_000
+            )
+        assert syncs[14] > 2 * syncs[10]

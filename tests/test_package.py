@@ -1,0 +1,58 @@
+"""Package-level checks: exports, version, error hierarchy."""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestExports:
+    def test_all_resolvable(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_core_all_resolvable(self):
+        import repro.core as core
+
+        for name in core.__all__:
+            assert getattr(core, name) is not None
+
+    def test_version_matches_pyproject(self):
+        root = pathlib.Path(repro.__file__).resolve().parents[2]
+        pyproject = (root / "pyproject.toml").read_text()
+        assert f'version = "{repro.__version__}"' in pyproject
+
+    def test_subpackages_importable(self):
+        import repro.baselines
+        import repro.bitio
+        import repro.data
+        import repro.experiments
+        import repro.parallel
+        import repro.rans
+        import repro.stats
+        import repro.tans
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.ModelError,
+            errors.EncodeError,
+            errors.DecodeError,
+            errors.MetadataError,
+            errors.ContainerError,
+            errors.ParallelismError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+        assert issubclass(exc, Exception)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.DecodeError("x")

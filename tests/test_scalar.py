@@ -1,0 +1,144 @@
+"""Tests for the scalar rANS reference codec (Eqs. 1-4, §3.1/Fig. 4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DecodeError, EncodeError
+from repro.rans.constants import L_BOUND
+from repro.rans.model import SymbolModel
+from repro.rans.scalar import ScalarDecoder, ScalarEncoder
+
+
+@pytest.fixture(scope="module")
+def roundtrip(skewed_bytes, model11):
+    enc = ScalarEncoder(model11, record_renorms=True)
+    return enc.encode(skewed_bytes[:20_000])
+
+
+class TestScalarRoundtrip:
+    def test_full_roundtrip(self, roundtrip, skewed_bytes, model11):
+        dec = ScalarDecoder(model11)
+        out = dec.decode(roundtrip.words, roundtrip.final_state, 20_000)
+        assert out == list(skewed_bytes[:20_000])
+
+    def test_compression_near_entropy(self, roundtrip, model11):
+        bits = 16 * len(roundtrip.words) + 32  # words + final state
+        per_sym = bits / 20_000
+        assert per_sym < model11.entropy_bits_per_symbol + 0.2
+
+    def test_empty_sequence(self, model11):
+        enc = ScalarEncoder(model11).encode([])
+        assert enc.words == []
+        assert enc.final_state == L_BOUND
+        out = ScalarDecoder(model11).decode([], L_BOUND, 0)
+        assert out == []
+
+    def test_single_symbol(self, model11):
+        enc = ScalarEncoder(model11).encode([0])
+        out = ScalarDecoder(model11).decode(enc.words, enc.final_state, 1)
+        assert out == [0]
+
+    def test_symbol_outside_alphabet_rejected(self, model11):
+        with pytest.raises(EncodeError):
+            ScalarEncoder(model11).encode([256])
+
+    def test_zero_frequency_symbol_rejected(self, model11):
+        if not np.any(model11.freqs == 0):
+            pytest.skip("model has full support")
+        missing = int(np.flatnonzero(model11.freqs == 0)[0])
+        with pytest.raises(EncodeError):
+            ScalarEncoder(model11).encode([missing])
+
+    def test_terminal_check_fires_on_truncated_stream(
+        self, roundtrip, model11
+    ):
+        with pytest.raises(DecodeError):
+            ScalarDecoder(model11).decode(
+                roundtrip.words[: len(roundtrip.words) // 2],
+                roundtrip.final_state,
+                20_000,
+            )
+
+    def test_to_bytes(self, roundtrip):
+        blob = roundtrip.to_bytes()
+        assert len(blob) == 2 * roundtrip.num_words
+
+
+class TestRenormRecords:
+    def test_one_record_per_word(self, roundtrip):
+        """b >= n makes renormalization single-step: every emitted word
+        is exactly one renormalization event."""
+        assert len(roundtrip.renorm_records) == roundtrip.num_words
+
+    def test_lemma_3_1(self, roundtrip):
+        """All recorded post-renorm states are below L (Lemma 3.1)."""
+        assert all(r.state_after < L_BOUND for r in roundtrip.renorm_records)
+
+    def test_records_ordered(self, roundtrip):
+        positions = [r.word_position for r in roundtrip.renorm_records]
+        assert positions == sorted(positions)
+        indices = [r.symbol_index for r in roundtrip.renorm_records]
+        assert indices == sorted(indices)
+
+    def test_decode_from_every_20th_record(
+        self, roundtrip, skewed_bytes, model11
+    ):
+        """Paper §3.1: decoding can start at ANY recorded point."""
+        dec = ScalarDecoder(model11)
+        data = list(skewed_bytes[:20_000])
+        for rec in roundtrip.renorm_records[::20]:
+            out = dec.decode_from_record(roundtrip.words, rec)
+            assert out == data[: rec.symbol_index - 1]
+
+    def test_partial_decode_from_record(self, roundtrip, skewed_bytes, model11):
+        rec = roundtrip.renorm_records[len(roundtrip.renorm_records) // 2]
+        dec = ScalarDecoder(model11)
+        out = dec.decode_from_record(roundtrip.words, rec, num_symbols=100)
+        expected = list(
+            skewed_bytes[rec.symbol_index - 101 : rec.symbol_index - 1]
+        )
+        assert out == expected
+
+    def test_too_many_symbols_from_record_rejected(self, roundtrip, model11):
+        rec = roundtrip.renorm_records[0]
+        with pytest.raises(DecodeError):
+            ScalarDecoder(model11).decode_from_record(
+                roundtrip.words, rec, num_symbols=rec.symbol_index
+            )
+
+    def test_two_thread_reassembly(self, roundtrip, skewed_bytes, model11):
+        """The Figure-4 proof of concept end to end."""
+        data = list(skewed_bytes[:20_000])
+        rec = min(
+            roundtrip.renorm_records,
+            key=lambda r: abs(r.symbol_index - 10_000),
+        )
+        dec = ScalarDecoder(model11)
+        upper = dec.decode(
+            roundtrip.words,
+            roundtrip.final_state,
+            20_000 - (rec.symbol_index - 1),
+            check_terminal=False,
+        )
+        lower = dec.decode_from_record(roundtrip.words, rec)
+        assert lower + upper == data
+
+
+@given(
+    data=st.lists(st.integers(min_value=0, max_value=15), min_size=1,
+                  max_size=400),
+    n=st.integers(min_value=8, max_value=16),
+)
+@settings(max_examples=50, deadline=None)
+def test_scalar_roundtrip_property(data, n):
+    """Roundtrip over random alphabets, lengths, quantization levels."""
+    r = np.random.default_rng(42)
+    counts = r.integers(1, 100, 16)
+    model = SymbolModel.from_counts(counts, n)
+    enc = ScalarEncoder(model, record_renorms=True).encode(data)
+    out = ScalarDecoder(model).decode(enc.words, enc.final_state, len(data))
+    assert out == data
+    assert all(rec.state_after < L_BOUND for rec in enc.renorm_records)

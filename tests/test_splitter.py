@@ -1,0 +1,131 @@
+"""Tests for split selection (§4.1 backward scan + §4.2 heuristic)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.splitter import SplitSelector
+from repro.errors import MetadataError
+from repro.rans.constants import L_BOUND
+from repro.rans.interleaved import InterleavedEncoder
+
+
+@pytest.fixture(scope="module")
+def encoded(skewed_bytes, model11):
+    return InterleavedEncoder(model11, lanes=32).encode(
+        skewed_bytes, record_events=True
+    )
+
+
+@pytest.fixture(scope="module")
+def selector(encoded):
+    return SplitSelector(encoded.events, 32, encoded.num_symbols)
+
+
+class TestSelection:
+    def test_requested_threads_achieved(self, selector):
+        md, stats = selector.select(16)
+        assert md.num_threads == 16
+        assert stats.achieved_threads == 16
+
+    def test_entries_validate(self, selector):
+        md, _ = selector.select(32)
+        md.validate()  # ordering/overlap invariants
+
+    def test_single_thread_no_entries(self, selector):
+        md, _ = selector.select(1)
+        assert md.entries == []
+
+    def test_zero_threads_rejected(self, selector):
+        with pytest.raises(MetadataError):
+            selector.select(0)
+
+    def test_workload_balanced(self, selector, encoded):
+        """Per-thread committed symbols within 3x of the ideal."""
+        md, _ = selector.select(20)
+        plan = md.thread_plan()
+        sizes = [p["commit_hi"] - p["commit_lo"] + 1 for p in plan]
+        ideal = encoded.num_symbols / 20
+        assert max(sizes) < 3 * ideal
+        assert min(sizes) > ideal / 3
+
+    def test_sync_sections_short(self, selector, encoded):
+        """Sync sections stay at a few interleave groups each — the
+        heuristic's second objective (§4.2)."""
+        md, stats = selector.select(32)
+        mean_sync = stats.total_sync_symbols / max(len(md.entries), 1)
+        assert mean_sync < 8 * 32  # a handful of groups of K=32
+
+    def test_entry_states_bounded(self, selector):
+        md, _ = selector.select(16)
+        for e in md.entries:
+            assert np.all(e.lane_states < L_BOUND)  # Lemma 3.1
+
+    def test_entry_lane_indices_belong_to_lanes(self, selector):
+        md, _ = selector.select(16)
+        for e in md.entries:
+            lanes = np.arange(32)
+            assert np.array_equal((e.lane_indices - 1) % 32, lanes)
+
+    def test_split_lane_is_max_index(self, selector, encoded):
+        """The split event's own lane carries the maximum index (the
+        backward scan starts there)."""
+        md, _ = selector.select(16)
+        ev_sym = np.asarray(encoded.events.symbol_index, dtype=np.int64)
+        ev_lane = np.asarray(encoded.events.lane)
+        for e in md.entries:
+            k = e.word_offset  # event id == word position
+            lane = int(ev_lane[k])
+            assert e.lane_indices[lane] == e.split_index
+            assert e.split_index == int(ev_sym[k]) - 32
+
+    def test_more_threads_more_sync_overhead(self, selector):
+        _, s8 = selector.select(8)
+        _, s64 = selector.select(64)
+        assert s64.total_sync_symbols > s8.total_sync_symbols
+
+    def test_oversubscribed_request_degrades_gracefully(
+        self, skewed_bytes, model11
+    ):
+        """Asking for more threads than events can support returns
+        fewer entries, never corrupt ones."""
+        tiny = skewed_bytes[:600]
+        enc = InterleavedEncoder(model11, lanes=32).encode(
+            tiny, record_events=True
+        )
+        sel = SplitSelector(enc.events, 32, enc.num_symbols)
+        md, stats = sel.select(64)
+        assert md.num_threads <= 64
+        md.validate()
+
+    def test_empty_events(self, model11):
+        enc = InterleavedEncoder(model11, lanes=32).encode(
+            np.zeros(0, dtype=np.uint8), record_events=True
+        )
+        sel = SplitSelector(enc.events, 32, 0)
+        md, _ = sel.select(8)
+        assert md.entries == []
+
+
+class TestHeuristic:
+    def test_heuristic_prefers_balance(self, encoded):
+        """Def 4.1: chosen splits are near the ideal boundaries."""
+        sel = SplitSelector(encoded.events, 32, encoded.num_symbols)
+        M = 10
+        md, _ = sel.select(M)
+        T = encoded.num_symbols / M
+        for k, e in enumerate(md.entries, start=1):
+            assert abs(e.split_index - k * T) < T
+
+    def test_wider_window_not_worse(self, encoded):
+        narrow = SplitSelector(
+            encoded.events, 32, encoded.num_symbols, window=8
+        )
+        wide = SplitSelector(
+            encoded.events, 32, encoded.num_symbols, window=128
+        )
+        _, sn = narrow.select(16)
+        _, sw = wide.select(16)
+        # Greedy: wider windows win on average but not pointwise.
+        assert sw.mean_heuristic_cost <= sn.mean_heuristic_cost * 1.10

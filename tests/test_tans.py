@@ -1,0 +1,169 @@
+"""Tests for the tANS substrate (table, codec, dump format)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DecodeError, EncodeError, ModelError
+from repro.tans import TansDecoder, TansEncoder, TansTable
+from repro.tans.table import spread_symbols
+
+
+@pytest.fixture(scope="module")
+def table12(skewed_bytes):
+    return TansTable.from_data(skewed_bytes, 12, alphabet_size=256)
+
+
+class TestSpread:
+    def test_occupancy_matches_freqs(self, table12):
+        counts = np.bincount(table12.spread, minlength=256)
+        assert np.array_equal(counts, table12.freqs)
+
+    def test_spread_scatters(self, table12):
+        """Occurrences of a frequent symbol should not cluster — that
+        is what buys self-synchronization."""
+        s = int(np.argmax(table12.freqs))
+        positions = np.flatnonzero(table12.spread == s)
+        gaps = np.diff(positions)
+        assert gaps.max() < 32 * table12.table_size / table12.freqs[s]
+
+    def test_wrong_sum_rejected(self):
+        with pytest.raises(ModelError):
+            spread_symbols(np.array([3, 3]), 3)
+
+
+class TestTableConstruction:
+    def test_decode_entries_bijective_per_symbol(self, table12):
+        """For each symbol, its decode transitions (base + read bits)
+        tile [T, 2T) exactly once — decoding s from any next-state is
+        reachable by exactly one (state, bits) pair."""
+        T = table12.table_size
+        for s in np.flatnonzero(table12.freqs)[:24]:
+            covered = np.zeros(2 * T, dtype=np.int64)
+            for p in np.flatnonzero(table12.dec_sym == s):
+                nb = int(table12.dec_nb[p])
+                base = int(table12.dec_base[p])
+                covered[base : base + (1 << nb)] += 1
+            assert np.all(covered[T:] == 1), s
+            assert np.all(covered[:T] == 0), s
+
+    def test_enc_next_inverse_of_decode(self, table12):
+        """Encoding symbol s from sub-state maps to a state whose
+        decode entry returns s and the sub-state."""
+        T = table12.table_size
+        r = np.random.default_rng(0)
+        for s in r.choice(np.flatnonzero(table12.freqs), 20):
+            f = int(table12.freqs[s])
+            for sub in (f, 2 * f - 1):
+                state = int(
+                    table12.enc_next[int(table12.enc_sub_offset[s]) + sub - f]
+                )
+                p = state - T
+                assert int(table12.dec_sym[p]) == s
+                nb = int(table12.dec_nb[p])
+                assert int(table12.dec_base[p]) >> nb == sub
+
+    def test_entropy(self, table12, skewed_bytes):
+        from repro.stats import empirical_entropy
+
+        h = empirical_entropy(skewed_bytes, 256)
+        assert abs(table12.entropy_bits_per_symbol - h) < 0.1
+
+
+class TestTansCodec:
+    def test_roundtrip(self, skewed_bytes, table12):
+        data = skewed_bytes[:20_000]
+        enc = TansEncoder(table12).encode(data)
+        out = TansDecoder(table12).decode(enc)
+        assert np.array_equal(out, data)
+
+    def test_rate_near_entropy(self, skewed_bytes, table12):
+        data = skewed_bytes[:20_000]
+        enc = TansEncoder(table12).encode(data)
+        per_sym = enc.bit_count / len(data)
+        assert per_sym < table12.entropy_bits_per_symbol + 0.15
+
+    def test_zero_freq_rejected(self, table12):
+        missing = np.flatnonzero(table12.freqs == 0)
+        if len(missing) == 0:
+            pytest.skip("full support")
+        with pytest.raises(EncodeError):
+            TansEncoder(table12).encode(np.array([missing[0]]))
+
+    def test_empty(self, table12):
+        enc = TansEncoder(table12).encode(np.array([], dtype=np.uint8))
+        out = TansDecoder(table12).decode(enc)
+        assert len(out) == 0
+        assert enc.initial_state == table12.table_size
+
+    def test_single_symbol(self, table12):
+        enc = TansEncoder(table12).encode(np.array([65]))
+        out = TansDecoder(table12).decode(enc)
+        assert out.tolist() == [65]
+
+    def test_truncated_stream_detected(self, skewed_bytes, table12):
+        enc = TansEncoder(table12).encode(skewed_bytes[:5_000])
+        bad = type(enc)(
+            payload=enc.payload[: len(enc.payload) // 2],
+            bit_count=enc.bit_count,
+            initial_state=enc.initial_state,
+            num_symbols=enc.num_symbols,
+        )
+        with pytest.raises((DecodeError, IndexError)):
+            TansDecoder(table12).decode(bad)
+
+    def test_decode_from_mid_stream_guess_state(self, skewed_bytes, table12):
+        """decode_from with a wrong state must not crash — garbage
+        output is expected (the multians speculative mode)."""
+        data = skewed_bytes[:5_000]
+        enc = TansEncoder(table12).encode(data)
+        payload = np.frombuffer(enc.payload, dtype=np.uint8)
+        out, state, pos = TansDecoder(table12).decode_from(
+            payload, enc.bit_count, table12.table_size,
+            enc.bit_count // 2, 100,
+        )
+        assert len(out) == 100
+        assert state >= table12.table_size
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31),
+    table_bits=st.integers(min_value=6, max_value=13),
+    length=st.integers(min_value=0, max_value=300),
+)
+@settings(max_examples=30, deadline=None)
+def test_tans_roundtrip_property(seed, table_bits, length):
+    r = np.random.default_rng(seed)
+    alphabet = int(r.integers(2, 40))
+    counts = r.integers(1, 30, alphabet)
+    table = TansTable.from_counts(counts, table_bits)
+    data = r.integers(0, alphabet, length)
+    enc = TansEncoder(table).encode(data)
+    out = TansDecoder(table).decode(enc)
+    assert np.array_equal(out, data)
+
+
+class TestTableDump:
+    def test_dump_roundtrip_12(self, table12):
+        blob = table12.to_bytes()
+        back, consumed = TansTable.from_bytes(blob)
+        assert consumed == len(blob)
+        assert np.array_equal(back.dec_sym, table12.dec_sym)
+        assert np.array_equal(back.dec_nb, table12.dec_nb)
+        assert np.array_equal(back.dec_base, table12.dec_base)
+        assert np.array_equal(back.freqs, table12.freqs)
+
+    def test_dump_roundtrip_16(self, skewed_bytes):
+        t16 = TansTable.from_data(skewed_bytes, 16, alphabet_size=256)
+        blob = t16.to_bytes()
+        back, _ = TansTable.from_bytes(blob)
+        assert np.array_equal(back.dec_sym, t16.dec_sym)
+        assert np.array_equal(back.dec_base, t16.dec_base)
+
+    def test_dump_size_scales_with_table(self, skewed_bytes, table12):
+        t16 = TansTable.from_data(skewed_bytes, 16, alphabet_size=256)
+        assert t16.dump_bytes() > 15 * table12.dump_bytes()
+        # The paper-relevant magnitude: ~256 KB at 2**16 states.
+        assert 250_000 < len(t16.to_bytes()) < 450_000
