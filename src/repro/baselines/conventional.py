@@ -102,7 +102,12 @@ class ConventionalEncoded:
 
 
 class ConventionalCodec:
-    """Encoder/decoder for the partitioning-symbols baseline."""
+    """Encoder/decoder for the partitioning-symbols baseline.
+
+    A codec instance reuses one lane engine (and scratch arena) across
+    :meth:`decode` calls, so it must not be shared between
+    concurrently decoding threads (DESIGN.md §9).
+    """
 
     def __init__(
         self,
@@ -113,6 +118,9 @@ class ConventionalCodec:
             provider = StaticModelProvider(provider)
         self.provider = provider
         self.lanes = lanes
+        # Reused across decode calls so the fused kernel's scratch
+        # arena amortizes (DESIGN.md §9).
+        self._engine = LaneEngine(provider, lanes)
 
     # -- encoding -------------------------------------------------------
 
@@ -185,9 +193,7 @@ class ConventionalCodec:
         a = self.provider.alphabet_size
         dtype = np.uint8 if a <= 256 else (np.uint16 if a <= 65536 else np.uint32)
         out = np.empty(encoded.num_symbols, dtype=dtype)
-        stats = LaneEngine(self.provider, self.lanes).run(
-            encoded.words, tasks, out
-        )
+        stats = self._engine.run(encoded.words, tasks, out)
         return out, stats, summarize_tasks(tasks)
 
     # -- container ------------------------------------------------------

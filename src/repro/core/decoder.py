@@ -91,7 +91,13 @@ def build_thread_tasks(
 
 
 class RecoilDecoder:
-    """Massively parallel decoder for Recoil streams."""
+    """Massively parallel decoder for Recoil streams.
+
+    A decoder instance owns one lane engine whose scratch buffers are
+    reused across :meth:`decode` calls (DESIGN.md §9) — cheap repeated
+    decodes, but an instance must not be shared between concurrently
+    decoding threads; give each thread its own decoder.
+    """
 
     def __init__(
         self,
@@ -102,6 +108,9 @@ class RecoilDecoder:
             provider = StaticModelProvider(provider)
         self.provider = provider
         self.lanes = lanes
+        # One engine for the decoder's lifetime: its scratch arena is
+        # reused across decode calls (DESIGN.md §9).
+        self._engine = LaneEngine(provider, lanes)
 
     def _out_dtype(self):
         a = self.provider.alphabet_size
@@ -117,24 +126,33 @@ class RecoilDecoder:
         final_states: np.ndarray,
         metadata: RecoilMetadata,
         max_threads: int | None = None,
+        engine: str = "fused",
     ) -> RecoilDecodeResult:
         """Decode using every split in ``metadata``.
 
         ``max_threads`` optionally combines splits first (client-side
         equivalent of the server's shrinking — useful when the decoder
-        received more metadata than it has cores).
+        received more metadata than it has cores).  ``engine`` selects
+        the fused wide-lane kernel (default) or the ``"reference"``
+        masked loop for differential testing.
         """
         if metadata.lanes != self.lanes:
             raise DecodeError(
                 f"metadata is for {metadata.lanes}-way interleaving, "
                 f"decoder configured for {self.lanes}"
             )
+        if engine not in ("fused", "reference"):
+            raise DecodeError(f"unknown engine {engine!r}")
         if max_threads is not None:
             metadata = metadata.combine(max_threads)
         tasks = build_thread_tasks(metadata, len(words), final_states)
         out = np.empty(metadata.num_symbols, dtype=self._out_dtype())
-        engine = LaneEngine(self.provider, self.lanes)
-        stats = engine.run(words, tasks, out)
+        run = (
+            self._engine.run
+            if engine == "fused"
+            else self._engine.run_reference
+        )
+        stats = run(words, tasks, out)
         return RecoilDecodeResult(
             symbols=out,
             engine_stats=stats,

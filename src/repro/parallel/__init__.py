@@ -1,25 +1,42 @@
 """Parallel execution substrate.
 
-- :mod:`repro.parallel.simd` — the numpy lane engine: decodes a batch
-  of decoder threads, each with 32 interleaved lanes, as dense array
+- :mod:`repro.parallel.simd` — the lane-engine front end: a batch of
+  decoder threads, each with 32 interleaved lanes, as dense array
   operations (the reproduction's stand-in for AVX vectors and CUDA
-  warps).
-- :mod:`repro.parallel.executor` — process/thread-pool execution of
-  decode tasks on real OS threads.
+  warps).  ``run`` routes through the fused kernel; ``run_reference``
+  keeps the original masked loop for differential testing.
+- :mod:`repro.parallel.fused` — the fused wide-lane decode kernel
+  (DESIGN.md §8): one flat state vector across all partitions, an
+  analytically-planned steady-state fast path, zero per-iteration
+  allocation.
+- :mod:`repro.parallel.buffers` — the scratch-buffer arena backing the
+  kernels (DESIGN.md §9).
+- :mod:`repro.parallel.executor` — thread-pool execution of decode
+  tasks on real OS threads, cost-balanced via the cost model.
 - :mod:`repro.parallel.costmodel` — analytical device profiles used to
-  project Figure-7-style GB/s numbers from counted work.
+  project Figure-7-style GB/s numbers from counted work, plus the
+  task-assignment cost heuristics.
 - :mod:`repro.parallel.workload` — work accounting helpers.
 """
 
+from repro.parallel.buffers import ScratchArena
 from repro.parallel.simd import LaneEngine, ThreadTask, EngineStats
-from repro.parallel.costmodel import DeviceProfile, project_throughput
+from repro.parallel.costmodel import (
+    DeviceProfile,
+    assign_tasks,
+    estimate_task_symbols,
+    project_throughput,
+)
 from repro.parallel.workload import WorkloadSummary, summarize_tasks
 
 __all__ = [
     "LaneEngine",
+    "ScratchArena",
     "ThreadTask",
     "EngineStats",
     "DeviceProfile",
+    "assign_tasks",
+    "estimate_task_symbols",
     "project_throughput",
     "WorkloadSummary",
     "summarize_tasks",

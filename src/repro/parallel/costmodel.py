@@ -23,8 +23,10 @@ and a per-word memory cost.  Time is the LPT makespan over workers.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 
+from repro.parallel.simd import ThreadTask
 from repro.parallel.workload import WorkloadSummary
 
 
@@ -150,6 +152,52 @@ PROFILES: dict[str, DeviceProfile] = {
         lut_penalty_16=1.25,
     ),
 }
+
+
+def estimate_task_symbols(task: ThreadTask) -> int:
+    """Estimated cost of one decode task, in walked symbols.
+
+    The walk length (sync + committed + cross-boundary symbols) is the
+    dominant cost term of the device model above — word reads are
+    proportional to it and the startup cost is per-task constant — so
+    it doubles as the scheduling weight for real-thread execution.
+    """
+    return max(0, task.walk_hi - task.walk_lo + 1)
+
+
+def assign_tasks(
+    tasks: list[ThreadTask], workers: int, strategy: str = "cost"
+) -> list[list[ThreadTask]]:
+    """Partition ``tasks`` across at most ``workers`` buckets.
+
+    ``strategy="cost"`` (default) performs a longest-processing-time
+    greedy assignment weighted by :func:`estimate_task_symbols` — the
+    same makespan model :meth:`WorkloadSummary.makespan_symbols` uses
+    to project device time — so stragglers (long cross-boundary walks,
+    uneven splits) are spread instead of landing on one worker.
+    ``strategy="round_robin"`` deals tasks cyclically (the historical
+    behaviour, kept for comparison).  Empty buckets are dropped.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if strategy == "round_robin":
+        buckets: list[list[ThreadTask]] = [[] for _ in range(workers)]
+        for i, t in enumerate(tasks):
+            buckets[i % workers].append(t)
+        return [b for b in buckets if b]
+    if strategy != "cost":
+        raise ValueError(f"unknown assignment strategy {strategy!r}")
+    buckets = [[] for _ in range(workers)]
+    heap = [(0, w) for w in range(workers)]
+    order = sorted(
+        range(len(tasks)),
+        key=lambda i: (-estimate_task_symbols(tasks[i]), i),
+    )
+    for i in order:
+        load, w = heapq.heappop(heap)
+        buckets[w].append(tasks[i])
+        heapq.heappush(heap, (load + estimate_task_symbols(tasks[i]), w))
+    return [b for b in buckets if b]
 
 
 def project_throughput(

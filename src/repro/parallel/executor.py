@@ -22,6 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ParallelismError
+from repro.parallel.costmodel import assign_tasks
 from repro.parallel.simd import EngineStats, LaneEngine, ThreadTask
 from repro.rans.adaptive import AdaptiveModelProvider
 
@@ -39,14 +40,6 @@ class PoolDecodeResult:
         return sum(s.symbols_decoded for s in self.per_worker_stats)
 
 
-def _round_robin(tasks: list[ThreadTask], workers: int) -> list[list[ThreadTask]]:
-    """Deal tasks across workers; round-robin keeps long tasks spread."""
-    buckets: list[list[ThreadTask]] = [[] for _ in range(workers)]
-    for i, t in enumerate(tasks):
-        buckets[i % workers].append(t)
-    return [b for b in buckets if b]
-
-
 def decode_with_pool(
     provider: AdaptiveModelProvider,
     lanes: int,
@@ -55,16 +48,21 @@ def decode_with_pool(
     num_symbols: int,
     out_dtype,
     workers: int,
+    strategy: str = "cost",
 ) -> PoolDecodeResult:
     """Decode ``tasks`` on ``workers`` real threads.
 
-    Each worker runs its own :class:`LaneEngine` over a task subset;
-    commit ranges are disjoint so the shared output needs no locks.
+    Each worker runs its own :class:`LaneEngine` (the fused wide-lane
+    kernel, with a private scratch arena) over a task subset; commit
+    ranges are disjoint so the shared output needs no locks.  Tasks
+    are spread by estimated cost (walked symbols) via
+    :func:`repro.parallel.costmodel.assign_tasks`; pass
+    ``strategy="round_robin"`` for the historical blind dealing.
     """
     if workers < 1:
         raise ParallelismError(f"workers must be >= 1, got {workers}")
     out = np.empty(num_symbols, dtype=out_dtype)
-    buckets = _round_robin(tasks, workers)
+    buckets = assign_tasks(tasks, workers, strategy=strategy)
 
     def run(bucket: list[ThreadTask]) -> EngineStats:
         return LaneEngine(provider, lanes).run(words, bucket, out)

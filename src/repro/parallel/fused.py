@@ -1,0 +1,408 @@
+"""Fused wide-lane rANS decode kernel.
+
+This is the hot path of the whole reproduction (DESIGN.md §8).  The
+reference engine (:meth:`~repro.parallel.simd.LaneEngine.run_reference`)
+models the paper's SIMD/CUDA decoders faithfully but spends most of its
+time in Python/numpy *dispatch*: every iteration rebuilds participation
+masks, reallocates temporaries and re-casts tables for arrays of only
+``tasks x 32`` elements.  The fused kernel keeps the exact same walk
+semantics (DESIGN.md §7) while restructuring the work so that the
+common case — every partition mid-stream, all lanes live, full groups,
+everything committed — runs a minimal straight-line sequence of
+in-place vectorized operations over one flat ``(M*K,)`` state vector.
+This is the paper's decoder-adaptive scalability claim made real in
+Python: combining M partitions widens the effective vector M-fold and
+the per-symbol interpreter overhead drops accordingly.
+
+Structure of one run:
+
+1. **Head** (generic masked iterations): partial first groups, lane
+   activations (the Synchronization Phase), commit-range boundaries.
+2. **Steady state**: every task is alive, fully activated, walking
+   full interleave groups that are entirely inside its commit range.
+   No masks, no ``np.where``, no allocation — all operands live in a
+   :class:`~repro.parallel.buffers.ScratchArena` and every Eq. 2
+   table access is a single gather into a pre-materialized
+   slot-indexed uint64 table (:class:`~repro.rans.adaptive.DecodeTables`).
+3. **Tail** (generic again): the final, possibly partial, group of
+   each task plus the terminal drain.
+
+Phase boundaries are computed analytically from the task geometry
+before the loop starts, so the steady loop carries no per-iteration
+phase checks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DecodeError
+from repro.parallel.buffers import ScratchArena
+from repro.parallel.simd import EngineStats, ThreadTask
+from repro.rans.adaptive import AdaptiveModelProvider
+from repro.rans.constants import L_BOUND, RENORM_BITS
+
+
+def _group(index: int, lanes: int) -> int:
+    """0-based interleave group of a 1-based symbol index."""
+    return (index - 1) // lanes
+
+
+def _plan_phases(
+    tasks: list[ThreadTask], lanes: int
+) -> tuple[np.ndarray, int, int, int]:
+    """Analytic iteration geometry for a task batch.
+
+    Returns ``(R, R_total, H, S)`` where ``R[t]`` is task ``t``'s total
+    iteration count, ``R_total`` the global loop length, and
+    ``[H, S)`` the global steady-state window (empty when ``H >= S``).
+
+    Task ``t`` is *steady* at iteration ``r`` (walking group
+    ``g = g_hi - r``) when:
+
+    - every lane is active: ``r >= act_end`` (all activations
+      installed; tasks whose lanes can never all activate are never
+      steady),
+    - the group is full and fully committed:
+      ``g*K + 1 >= max(walk_lo, commit_lo)`` and
+      ``g*K + K <= min(walk_hi, commit_hi)``.
+    """
+    K = lanes
+    T = len(tasks)
+    R = np.zeros(T, dtype=np.int64)
+    starts = np.zeros(T, dtype=np.int64)
+    ends = np.zeros(T, dtype=np.int64)
+    for ti, t in enumerate(tasks):
+        if t.walk_hi < t.walk_lo:
+            continue  # degenerate: dead on arrival, empty window
+        g_hi = _group(t.walk_hi, K)
+        g_lo = _group(t.walk_lo, K)
+        R[ti] = g_hi - g_lo + 1
+
+        act_end = 0
+        covered = t.initial_states is not None
+        if not covered:
+            covered = len({lane for _, lane, _ in t.activations}) >= K
+        if not covered:
+            continue  # some lane never activates: no steady window
+        if t.activations:
+            act_end = max(
+                g_hi - _group(idx, K) for idx, _, _ in t.activations
+            ) + 1
+
+        hi_lim = min(t.walk_hi, t.commit_hi)
+        lo_lim = max(t.walk_lo, t.commit_lo)
+        g_max = (hi_lim - K) // K  # last group fully below hi_lim
+        g_min = (lo_lim + K - 2) // K  # first group fully above lo_lim
+        if g_max < g_min:
+            continue
+        starts[ti] = max(act_end, g_hi - g_max)
+        ends[ti] = g_hi - g_min + 1
+
+    R_total = int(R.max()) if T else 0
+    if T and np.all(ends > starts):
+        H = int(starts.max())
+        S = int(ends.min())
+    else:
+        H, S = 0, 0  # at least one task never reaches steady state
+    return R, R_total, H, S
+
+
+def fused_run(
+    provider: AdaptiveModelProvider,
+    lanes: int,
+    words: np.ndarray,
+    tasks: list[ThreadTask],
+    out: np.ndarray,
+    arena: ScratchArena,
+) -> EngineStats:
+    """Decode every task into ``out`` (same contract as
+    :meth:`~repro.parallel.simd.LaneEngine.run`)."""
+    K = lanes
+    T = len(tasks)
+    stats = EngineStats(tasks=T)
+    if T == 0:
+        return stats
+
+    n = provider.quant_bits
+    n64 = np.uint64(n)
+    rb = np.uint64(RENORM_BITS)
+    slot_mask = np.uint64((1 << n) - 1)
+    lbound = np.uint64(L_BOUND)
+    words = np.asarray(words, dtype=np.uint16)
+    W = len(words)
+
+    tables = provider.decode_tables
+    slot_count = np.uint64(tables.slot_count)
+    static = provider.is_static
+    if static:
+        s1 = tables.sym_slot[0]
+        f1 = tables.freq_slot[0]
+        b1 = tables.bias_slot[0]
+    else:
+        s_flat = tables.sym_slot.ravel()
+        f_flat = tables.freq_slot.ravel()
+        b_flat = tables.bias_slot.ravel()
+        ids_dense = provider.dense_model_ids(len(out))
+
+    # One uint64 copy of the stream, made once per run, so every
+    # renormalization gather lands directly in the state dtype.
+    words_u64 = arena.get_at_least("words_u64", W, np.uint64)[:W]
+    words_u64[:] = words
+
+    # ---- task state -----------------------------------------------------
+    for ti, t in enumerate(tasks):
+        if t.start_pos >= W:
+            raise DecodeError(
+                f"task {ti}: start position {t.start_pos} beyond "
+                f"stream of {W} words"
+            )
+    pos = np.array([t.start_pos for t in tasks], dtype=np.int64)
+    cur = np.array([t.walk_hi for t in tasks], dtype=np.int64)
+    lo = np.array([t.walk_lo for t in tasks], dtype=np.int64)
+    c_hi = np.array([t.commit_hi for t in tasks], dtype=np.int64)
+    c_lo = np.array([t.commit_lo for t in tasks], dtype=np.int64)
+    offs = np.array([t.global_offset for t in tasks], dtype=np.int64)
+
+    x = arena.get("x", (T, K), np.uint64)
+    x[:] = L_BOUND
+    active = arena.get("active", (T, K), bool)
+    active[:] = False
+    for ti, t in enumerate(tasks):
+        if t.initial_states is not None:
+            st = np.asarray(t.initial_states, dtype=np.uint64)
+            if st.shape != (K,):
+                raise DecodeError(
+                    f"task {ti}: initial_states must have shape ({K},)"
+                )
+            x[ti] = st
+            active[ti] = True
+
+    # ---- activation schedule -------------------------------------------
+    act_task: list[int] = []
+    act_lane: list[int] = []
+    act_state: list[int] = []
+    act_iter: list[int] = []
+    for ti, t in enumerate(tasks):
+        g0 = _group(t.walk_hi, K)
+        for idx, lane, state in t.activations:
+            if not t.walk_lo <= idx <= t.walk_hi:
+                raise DecodeError(
+                    f"task {ti}: activation index {idx} outside walk "
+                    f"range [{t.walk_lo}, {t.walk_hi}]"
+                )
+            act_task.append(ti)
+            act_lane.append(lane)
+            act_state.append(state)
+            act_iter.append(g0 - _group(idx, K))
+    if act_task:
+        a_iter = np.array(act_iter)
+        order = np.argsort(a_iter, kind="stable")
+        a_iter = a_iter[order]
+        a_task = np.array(act_task)[order]
+        a_lane = np.array(act_lane)[order]
+        a_state = np.array(act_state, dtype=np.uint64)[order]
+    else:
+        a_iter = np.empty(0, dtype=np.int64)
+        a_task = a_lane = np.empty(0, dtype=np.int64)
+        a_state = np.empty(0, dtype=np.uint64)
+    a_ptr = 0
+
+    _, R_total, H, S = _plan_phases(tasks, K)
+
+    lane_col = np.arange(K, dtype=np.int64)[None, :]
+    out_dtype = out.dtype
+    per_task_iters = np.zeros(T, dtype=np.int64)
+    symbols_decoded = 0
+    words_read = 0
+    r = 0
+
+    # ---- generic masked iteration (head and tail phases) ---------------
+    def generic_until(r: int, r_stop: int) -> int:
+        nonlocal a_ptr, symbols_decoded, words_read
+        while r < r_stop:
+            alive = cur >= lo
+            if not alive.any():
+                return r_stop  # all dead; skip straight to the end
+            while a_ptr < len(a_iter) and a_iter[a_ptr] <= r:
+                end = a_ptr
+                while end < len(a_iter) and a_iter[end] <= r:
+                    end += 1
+                x[a_task[a_ptr:end], a_lane[a_ptr:end]] = a_state[a_ptr:end]
+                active[a_task[a_ptr:end], a_lane[a_ptr:end]] = True
+                a_ptr = end
+
+            base = ((cur - 1) // K) * K
+            sl = np.maximum(lo, base + 1)
+            la = (sl - base - 1)[:, None]
+            lb = (cur - base - 1)[:, None]
+            part = (
+                (lane_col >= la)
+                & (lane_col <= lb)
+                & alive[:, None]
+                & active
+            )
+
+            # Eq. 4 reads before decoding, descending lane order.
+            need = part & (x < lbound)
+            counts = need.sum(axis=1)
+            if counts.any():
+                rank = need[:, ::-1].cumsum(axis=1)[:, ::-1] - need
+                rpos = pos[:, None] - rank
+                src = rpos[need]
+                if src.min() < 0 or src.max() >= W:
+                    raise DecodeError(
+                        "stream read out of range during renormalization "
+                        "(corrupt metadata or truncated payload)"
+                    )
+                x[need] = (x[need] << rb) | words_u64[src]
+                np.subtract(pos, counts, out=pos)
+                words_read += int(counts.sum())
+
+            # Eq. 2 via the slot-indexed tables.
+            slot = x & slot_mask
+            if static:
+                sym = s1[slot]
+                new_x = f1[slot] * (x >> n64) + b1[slot]
+            else:
+                g_idx = offs[:, None] + base[:, None] + lane_col
+                np.clip(g_idx, 0, max(len(ids_dense) - 1, 0), out=g_idx)
+                flat = ids_dense[g_idx] * slot_count + slot
+                sym = s_flat[flat]
+                new_x = f_flat[flat] * (x >> n64) + b_flat[flat]
+            np.copyto(x, new_x, where=part)
+
+            local_index = base[:, None] + lane_col + 1
+            commit = (
+                part
+                & (local_index >= c_lo[:, None])
+                & (local_index <= c_hi[:, None])
+            )
+            if commit.any():
+                out_pos = offs[:, None] + local_index - 1
+                out[out_pos[commit]] = sym[commit].astype(
+                    out_dtype, copy=False
+                )
+
+            symbols_decoded += int(part.sum())
+            per_task_iters[alive] += 1
+            np.copyto(cur, sl - 1, where=alive)
+            r += 1
+        return r
+
+    r = generic_until(r, min(H, R_total) if H < S else R_total)
+
+    # ---- steady state ---------------------------------------------------
+    if H < S and r == H:
+        steady_iters = S - H
+        need = arena.get("need", (T, K), bool)
+        cbuf = arena.get("cbuf", (T, K), np.int64)
+        rankb = arena.get("rankb", (T, K), np.int64)
+        rposb = arena.get("rposb", (T, K), np.int64)
+        wbuf = arena.get("wbuf", (T, K), np.uint64)
+        tmp = arena.get("tmp", (T, K), np.uint64)
+        slot = arena.get("slot", (T, K), np.uint64)
+        fbuf = arena.get("fbuf", (T, K), np.uint64)
+        bbuf = arena.get("bbuf", (T, K), np.uint64)
+        symb = arena.get("symb", (T, K), tables.sym_slot.dtype)
+        out_idx = arena.get("out_idx", (T, K), np.int64)
+        if not static:
+            idsb = arena.get("idsb", (T, K), np.uint64)
+            flatb = arena.get("flatb", (T, K), np.uint64)
+
+        # cur is a multiple of K for every task here (groups are full);
+        # output positions advance by exactly -K per iteration.
+        out_idx[:] = (offs + cur - K)[:, None] + lane_col
+        pos_sum_before = int(pos.sum())
+
+        # Hoist everything hoistable: bound methods skip numpy's
+        # Python-level dispatch wrappers, and the column views stay
+        # valid because every buffer is written in place.
+        counts = cbuf[:, K - 1]
+        counts_col = cbuf[:, K - 1 :]
+        pos_col = pos[:, None]
+        need_any = need.any
+        need_cumsum = need.cumsum
+        pos_min = pos.min
+        take_words = words_u64.take
+        if static:
+            take_f, take_b, take_s = f1.take, b1.take, s1.take
+        else:
+            take_ids = ids_dense.take
+            take_f, take_b, take_s = f_flat.take, b_flat.take, s_flat.take
+
+        for _ in range(steady_iters):
+            # Eq. 4: renormalization reads, descending lane order.
+            np.less(x, lbound, out=need)
+            if need_any():
+                need_cumsum(axis=1, out=cbuf)
+                np.subtract(counts_col, cbuf, out=rankb)
+                np.subtract(pos_col, rankb, out=rposb)
+                np.subtract(pos, counts, out=pos)
+                if pos_min() < -1:
+                    raise DecodeError(
+                        "bitstream exhausted during renormalization"
+                    )
+                take_words(rposb, out=wbuf, mode="clip")
+                np.left_shift(x, rb, out=tmp)
+                np.bitwise_or(tmp, wbuf, out=tmp)
+                np.copyto(x, tmp, where=need)
+            # Eq. 2: decode all M*K lanes with single-gather tables.
+            np.bitwise_and(x, slot_mask, out=slot)
+            np.right_shift(x, n64, out=tmp)
+            if static:
+                take_f(slot, out=fbuf)
+                take_b(slot, out=bbuf)
+                take_s(slot, out=symb)
+            else:
+                take_ids(out_idx, out=idsb)
+                np.multiply(idsb, slot_count, out=flatb)
+                np.add(flatb, slot, out=flatb)
+                take_f(flatb, out=fbuf)
+                take_b(flatb, out=bbuf)
+                take_s(flatb, out=symb)
+            np.multiply(fbuf, tmp, out=x)
+            np.add(x, bbuf, out=x)
+            # Commit the whole group of every task.
+            out[out_idx] = symb
+            np.subtract(out_idx, K, out=out_idx)
+
+        words_read += pos_sum_before - int(pos.sum())
+        symbols_decoded += steady_iters * T * K
+        per_task_iters += steady_iters
+        cur -= K * steady_iters
+        r = S
+
+    r = generic_until(r, R_total)
+
+    stats.iterations = r
+    stats.symbols_decoded = symbols_decoded
+    stats.words_read = words_read
+    stats.max_task_iterations = int(per_task_iters.max()) if T else 0
+
+    # ---- terminal drain & checks ---------------------------------------
+    for ti, t in enumerate(tasks):
+        if not t.check_terminal:
+            continue
+        p = int(pos[ti])
+        for lane in range(K - 1, -1, -1):
+            xv = int(x[ti, lane])
+            while xv < L_BOUND:
+                if p <= t.terminal_pos:
+                    raise DecodeError(
+                        f"task {ti}: stream exhausted in terminal drain"
+                    )
+                xv = (xv << RENORM_BITS) | int(words[p])
+                p -= 1
+                stats.words_read += 1
+            x[ti, lane] = xv
+        if p != t.terminal_pos:
+            raise DecodeError(
+                f"task {ti}: stream region not fully consumed "
+                f"(pos {p}, expected {t.terminal_pos})"
+            )
+        if np.any(x[ti] != L_BOUND):
+            raise DecodeError(
+                f"task {ti}: lanes did not return to the initial state L"
+            )
+    return stats

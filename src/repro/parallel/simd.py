@@ -81,11 +81,32 @@ class EngineStats:
 
 
 class LaneEngine:
-    """Vectorized executor for batches of :class:`ThreadTask`."""
+    """Vectorized executor for batches of :class:`ThreadTask`.
+
+    :meth:`run` routes through the fused wide-lane kernel
+    (:mod:`repro.parallel.fused`) — one flat state vector across all
+    tasks, scratch buffers reused across calls.  :meth:`run_reference`
+    is the original masked per-group loop, kept as the differential-
+    testing reference (both are validated against each other and the
+    pure-Python decoders in the test suite).
+
+    An engine owns its scratch arena and is therefore **not**
+    thread-safe; use one engine per worker thread (as
+    :func:`~repro.parallel.executor.decode_with_pool` does).
+    """
 
     def __init__(self, provider: AdaptiveModelProvider, lanes: int) -> None:
         self.provider = provider
         self.lanes = lanes
+        self._arena = None  # created lazily; see `arena`
+
+    @property
+    def arena(self):
+        if self._arena is None:
+            from repro.parallel.buffers import ScratchArena
+
+            self._arena = ScratchArena()
+        return self._arena
 
     # ------------------------------------------------------------------
 
@@ -100,6 +121,25 @@ class LaneEngine:
         ``out`` must be preallocated with the full sequence length;
         each output position is written by exactly one task (the
         commit ranges partition the sequence).
+        """
+        from repro.parallel.fused import fused_run
+
+        return fused_run(
+            self.provider, self.lanes, words, tasks, out, self.arena
+        )
+
+    # ------------------------------------------------------------------
+
+    def run_reference(
+        self,
+        words: np.ndarray,
+        tasks: list[ThreadTask],
+        out: np.ndarray,
+    ) -> EngineStats:
+        """The original masked per-group loop (differential reference).
+
+        Semantically identical to :meth:`run`, including the
+        :class:`EngineStats` counters; kept unoptimized on purpose.
         """
         provider = self.provider
         K = self.lanes

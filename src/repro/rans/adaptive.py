@@ -23,11 +23,42 @@ parameters with single numpy fancy-indexing operations.
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.errors import ModelError
 from repro.rans.model import SymbolModel
+
+
+@dataclass(frozen=True)
+class DecodeTables:
+    """Slot-indexed gather tables for the fused decode kernel.
+
+    One row per model, one column per slot value ``x & (2**n - 1)``.
+    Everything the Eq. 2 inner loop needs is resolved by a *single*
+    gather per operand — no dependent symbol→frequency lookup, no
+    per-iteration dtype casts:
+
+    - ``sym_slot[m, slot]``  — the decoded symbol, stored in the
+      narrowest uint dtype that holds the alphabet (so output scatters
+      need no cast);
+    - ``freq_slot[m, slot]`` — ``f(sym)`` as uint64;
+    - ``bias_slot[m, slot]`` — ``slot - F(sym)`` as uint64 (always in
+      ``[0, f)``), so the state update collapses to
+      ``x = freq_slot[slot] * (x >> n) + bias_slot[slot]``.
+
+    The 2-D tables are C-contiguous; ``.ravel()`` views of them are
+    used for flat gathers of ``model_id * 2**n + slot``.
+    """
+
+    sym_slot: np.ndarray  # (num_models, 2**n) uint8/16/32
+    freq_slot: np.ndarray  # (num_models, 2**n) uint64
+    bias_slot: np.ndarray  # (num_models, 2**n) uint64
+
+    @property
+    def slot_count(self) -> int:
+        return self.sym_slot.shape[1]
 
 
 class AdaptiveModelProvider:
@@ -59,6 +90,8 @@ class AdaptiveModelProvider:
         self._freq_table: np.ndarray | None = None
         self._cdf_table: np.ndarray | None = None
         self._lut_table: np.ndarray | None = None
+        self._decode_tables: DecodeTables | None = None
+        self._dense_ids: np.ndarray | None = None
 
     # -- dense tables ---------------------------------------------------
 
@@ -92,6 +125,56 @@ class AdaptiveModelProvider:
                 [m.slot_to_symbol.astype(np.uint32) for m in self._models]
             )
         return self._lut_table
+
+    @property
+    def decode_tables(self) -> DecodeTables:
+        """Pre-materialized slot-indexed tables (built once, cached).
+
+        These are what the fused kernel gathers from; building them
+        here keeps every per-call ``.astype`` out of the hot loop.
+        """
+        if self._decode_tables is None:
+            n = self.quant_bits
+            slot_count = 1 << n
+            alphabet = self.alphabet_size
+            if alphabet <= 256:
+                sym_dtype = np.uint8
+            elif alphabet <= 65536:
+                sym_dtype = np.uint16
+            else:
+                sym_dtype = np.uint32
+            M = self.num_models
+            slots = np.arange(slot_count, dtype=np.uint64)
+            sym = np.empty((M, slot_count), dtype=sym_dtype)
+            freq = np.empty((M, slot_count), dtype=np.uint64)
+            bias = np.empty((M, slot_count), dtype=np.uint64)
+            for k, m in enumerate(self._models):
+                lut = m.slot_to_symbol
+                sym[k] = lut.astype(sym_dtype, copy=False)
+                freq[k] = m.freqs[lut]
+                bias[k] = slots - m.cdf[lut].astype(np.uint64)
+            self._decode_tables = DecodeTables(sym, freq, bias)
+        return self._decode_tables
+
+    def dense_model_ids(self, total_symbols: int) -> np.ndarray:
+        """Cached uint64 model id per 0-based symbol position.
+
+        ``dense_model_ids(N)[i]`` is the model id for 1-based symbol
+        index ``i + 1``; uint64 so the fused kernel can fold it into
+        flat-gather arithmetic without casts.  The index→model mapping
+        is length-independent, so the longest array built so far
+        serves every shorter request as a prefix view (and the single
+        read/replace of the cache slot keeps concurrent readers on a
+        consistent array).
+        """
+        ids = self._dense_ids
+        if ids is None or len(ids) < total_symbols:
+            ids = np.ascontiguousarray(
+                self.model_ids_for_range(1, total_symbols + 1),
+                dtype=np.uint64,
+            )
+            self._dense_ids = ids
+        return ids[:total_symbols]
 
     # -- the index mapping ----------------------------------------------
 

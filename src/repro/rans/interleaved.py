@@ -36,8 +36,6 @@ from repro.rans.constants import (
 )
 from repro.rans.model import SymbolModel
 
-_U64_ONE = np.uint64(1)
-
 
 @dataclass
 class RenormEvents:
@@ -92,7 +90,12 @@ class InterleavedEncodeResult:
 
 
 class InterleavedEncoder:
-    """K-way interleaved rANS encoder over an adaptive model provider."""
+    """K-way interleaved rANS encoder over an adaptive model provider.
+
+    Instances reuse scratch buffers across :meth:`encode` calls and
+    must not be shared between concurrently encoding threads
+    (DESIGN.md §9).
+    """
 
     def __init__(
         self,
@@ -105,6 +108,14 @@ class InterleavedEncoder:
             raise EncodeError(f"need at least one lane, got {lanes}")
         self.provider = provider
         self.lanes = lanes
+        self._arena = None  # scratch buffers, reused across encode calls
+
+    def _get_arena(self):
+        if self._arena is None:
+            from repro.parallel.buffers import ScratchArena
+
+            self._arena = ScratchArena()
+        return self._arena
 
     def encode(
         self, data: np.ndarray, record_events: bool = False
@@ -138,6 +149,15 @@ class InterleavedEncoder:
 
         f_all, cdf_all = self.provider.gather_freq_cdf(data, start_index=1)
 
+        arena = self._get_arena()
+        # Renormalization thresholds (Eq. 3) for the whole sequence,
+        # hoisted out of the group loop.
+        bound_all = arena.get_at_least("bounds", N, np.uint64)[:N]
+        np.left_shift(f_all, shift, out=bound_all)
+        need_buf = arena.get("need", (K,), bool)
+        q_buf = arena.get("q", (K,), np.uint64)
+        rem_buf = arena.get("rem", (K,), np.uint64)
+
         x = np.full(K, L_BOUND, dtype=np.uint64)
         words = np.empty(N + 8, dtype=np.uint16)  # <= 1 word per symbol
         if record_events:
@@ -154,22 +174,29 @@ class InterleavedEncoder:
             cdf = cdf_all[base : base + cnt]
             xs = x[:cnt]
             # Renormalize lanes whose state would overflow (Eq. 3).
-            idx = np.flatnonzero(xs >= (f << shift))
-            c = len(idx)
+            need = need_buf[:cnt]
+            np.greater_equal(xs, bound_all[base : base + cnt], out=need)
+            c = int(np.count_nonzero(need))
             if c:
-                overflowed = xs[idx]
-                words[wc : wc + c] = (overflowed & mask16).astype(np.uint16)
+                overflowed = xs[need]
+                words[wc : wc + c] = overflowed & mask16
                 renormed = overflowed >> rb
-                x[idx] = renormed
+                xs[need] = renormed
                 if record_events:
+                    idx = np.flatnonzero(need)
                     ev_sym[wc : wc + c] = base + idx + 1
                     ev_lane[wc : wc + c] = idx
-                    ev_state[wc : wc + c] = renormed.astype(np.uint16)
+                    ev_state[wc : wc + c] = renormed
                 wc += c
-                xs = x[:cnt]
-            # Eq. 1 vectorized across the group's lanes.
-            q = xs // f
-            x[:cnt] = (q << n64) + cdf + (xs - q * f)
+            # Eq. 1 vectorized across the group's lanes, in place.
+            q = q_buf[:cnt]
+            rem = rem_buf[:cnt]
+            np.floor_divide(xs, f, out=q)
+            np.multiply(q, f, out=rem)
+            np.subtract(xs, rem, out=rem)
+            np.left_shift(q, n64, out=q)
+            np.add(q, cdf, out=q)
+            np.add(q, rem, out=xs)
 
         events = None
         if record_events:
@@ -188,7 +215,12 @@ class InterleavedEncoder:
 
 
 class InterleavedDecoder:
-    """K-way interleaved rANS decoder (full-stream, vectorized)."""
+    """K-way interleaved rANS decoder (full-stream, vectorized).
+
+    Instances reuse scratch buffers across :meth:`decode` calls and
+    must not be shared between concurrently decoding threads
+    (DESIGN.md §9).
+    """
 
     def __init__(
         self,
@@ -199,6 +231,16 @@ class InterleavedDecoder:
             provider = StaticModelProvider(provider)
         self.provider = provider
         self.lanes = lanes
+        self._engine = None
+
+    def _get_engine(self):
+        """Cached fused lane engine (lazy import: the parallel package
+        imports this module's package at load time)."""
+        if self._engine is None:
+            from repro.parallel.simd import LaneEngine
+
+            self._engine = LaneEngine(self.provider, self.lanes)
+        return self._engine
 
     def _out_dtype(self) -> type:
         a = self.provider.alphabet_size
@@ -217,24 +259,25 @@ class InterleavedDecoder:
     ) -> np.ndarray:
         """Decode the full stream back to the original symbol order.
 
-        Walks symbol indices ``N .. 1``; per symbol: Eq. 2 decode, then
-        Eq. 4 renormalization reads.  Reads within a group happen in
-        decreasing lane order, exactly mirroring encode-side emission.
+        Routes through the fused wide-lane kernel
+        (:mod:`repro.parallel.fused`) as a single fully-initialized
+        task: walks symbol indices ``N .. 1``; per symbol, Eq. 4
+        renormalization reads then the Eq. 2 decode, reads within a
+        group in decreasing lane order, exactly mirroring encode-side
+        emission.  :meth:`decode_reference` is the pure-Python
+        differential reference.
         """
-        provider = self.provider
+        from repro.parallel.simd import ThreadTask
+
         K = self.lanes
         N = int(num_symbols)
-        n = provider.quant_bits
-        n64 = np.uint64(n)
-        rb = np.uint64(RENORM_BITS)
-        slot_mask = np.uint64((1 << n) - 1)
         lbound = np.uint64(L_BOUND)
 
         if len(final_states) != K:
             raise DecodeError(
                 f"expected {K} final states, got {len(final_states)}"
             )
-        x = np.ascontiguousarray(final_states, dtype=np.uint64).copy()
+        x = np.ascontiguousarray(final_states, dtype=np.uint64)
         words = np.asarray(words, dtype=np.uint16)
         out = np.empty(N, dtype=self._out_dtype())
         if N == 0:
@@ -242,59 +285,17 @@ class InterleavedDecoder:
                 raise DecodeError("terminal check failed on empty stream")
             return out
 
-        static = provider.is_static
-        if static:
-            lut1 = provider.models[0].slot_to_symbol
-            freq1 = provider.models[0].freqs.astype(np.uint64)
-            cdf1 = provider.models[0].cdf.astype(np.uint64)
-        else:
-            lut_t = provider.lut_table
-            freq_t = provider.freq_table
-            cdf_t = provider.cdf_table
-
-        p = len(words) - 1
-        num_groups = -(-N // K)
-        for g in range(num_groups - 1, -1, -1):
-            base = g * K
-            cnt = min(K, N - base)
-            xs = x[:cnt]
-            slot = xs & slot_mask
-            if static:
-                sym = lut1[slot]
-                f = freq1[sym]
-                start = cdf1[sym]
-            else:
-                ids = provider.model_ids_for_range(base + 1, base + 1 + cnt)
-                sym = lut_t[ids, slot]
-                f = freq_t[ids, sym].astype(np.uint64)
-                start = cdf_t[ids, sym].astype(np.uint64)
-            # Eq. 2: x_{i-1} = f * (x >> n) + slot - F.
-            xs = f * (xs >> n64) + (slot - start)
-            # Eq. 4: lanes that underflowed read one word each, in
-            # decreasing lane order == increasing stream position for
-            # the ascending index array.
-            idx = np.flatnonzero(xs < lbound)
-            c = len(idx)
-            if c:
-                if p - c + 1 < 0:
-                    raise DecodeError(
-                        "bitstream exhausted during renormalization"
-                    )
-                w = words[p - c + 1 : p + 1].astype(np.uint64)
-                xs[idx] = (xs[idx] << rb) | w
-                p -= c
-            x[:cnt] = xs
-            out[base : base + cnt] = sym.astype(out.dtype, copy=False)
-
-        if check_terminal:
-            if p != -1:
-                raise DecodeError(
-                    f"stream not fully consumed: {p + 1} words left"
-                )
-            if np.any(x != lbound):
-                raise DecodeError(
-                    "decoder did not return to the initial state L"
-                )
+        task = ThreadTask(
+            start_pos=len(words) - 1,
+            walk_hi=N,
+            walk_lo=1,
+            commit_hi=N,
+            commit_lo=1,
+            initial_states=x,
+            check_terminal=check_terminal,
+            terminal_pos=-1,
+        )
+        self._get_engine().run(words, [task], out)
         return out
 
     # ------------------------------------------------------------------

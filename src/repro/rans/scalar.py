@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.errors import DecodeError, EncodeError
 from repro.rans.constants import (
     L_BOUND,
@@ -60,10 +62,7 @@ class ScalarEncodeResult:
         return len(self.words)
 
     def to_bytes(self) -> bytes:
-        out = bytearray()
-        for w in self.words:
-            out += int(w).to_bytes(2, "little")
-        return bytes(out)
+        return np.asarray(self.words, dtype="<u2").tobytes()
 
 
 class ScalarEncoder:
@@ -89,8 +88,8 @@ class ScalarEncoder:
         works like a stack).
         """
         model = self.model
-        freqs = model.freqs
-        cdf = model.cdf
+        freqs = model.freqs.tolist()
+        cdf = model.cdf.tolist()
         n = model.quant_bits
         record = self.record_renorms
 
@@ -101,7 +100,7 @@ class ScalarEncoder:
             s = int(s)
             if s < 0 or s >= len(freqs):
                 raise EncodeError(f"symbol {s} outside alphabet at index {i}")
-            f = int(freqs[s])
+            f = freqs[s]
             if f == 0:
                 raise EncodeError(
                     f"symbol {s} has zero quantized frequency (index {i})"
@@ -122,7 +121,7 @@ class ScalarEncoder:
                     )
                 )
             # Eq. 1: x' = 2**n * (x // f) + F(s) + x mod f
-            x = ((x // f) << n) + int(cdf[s]) + (x % f)
+            x = ((x // f) << n) + cdf[s] + (x % f)
         return ScalarEncodeResult(
             words=words, final_state=x, renorm_records=renorms
         )
@@ -165,27 +164,34 @@ class ScalarDecoder:
             integrity check for full-stream decodes.
         """
         model = self.model
-        freqs = model.freqs
-        cdf = model.cdf
-        lut = model.slot_to_symbol
+        # Hoist every numpy-scalar → int conversion out of the decode
+        # loop: plain-int lists keep the per-symbol work native.
+        freqs = model.freqs.tolist()
+        cdf = model.cdf.tolist()
+        lut = model.slot_to_symbol.tolist()
+        ws = (
+            words.tolist()
+            if isinstance(words, np.ndarray)
+            else [int(w) for w in words]
+        )
         n = model.quant_bits
         mask = model.slot_mask
 
         x = int(final_state)
-        p = len(words) - 1 if start_word is None else int(start_word)
+        p = len(ws) - 1 if start_word is None else int(start_word)
         out: list[int] = []
         for _ in range(num_symbols):
             # Eq. 2: symbol lookup then state restoration.
             slot = x & mask
-            s = int(lut[slot])
-            x = int(freqs[s]) * (x >> n) + slot - int(cdf[s])
+            s = lut[slot]
+            x = freqs[s] * (x >> n) + slot - cdf[s]
             # Eq. 4: renormalize by reading words (reverse of emission).
             while x < L_BOUND:
                 if p < 0:
                     raise DecodeError(
                         "bitstream exhausted during renormalization"
                     )
-                x = (x << RENORM_BITS) | int(words[p])
+                x = (x << RENORM_BITS) | ws[p]
                 p -= 1
             out.append(s)
         if check_terminal and (x != L_BOUND or p != -1):
