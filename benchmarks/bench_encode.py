@@ -1,0 +1,207 @@
+"""Encode-throughput trajectory harness: ``BENCH_encode.json``.
+
+Measures wall-clock symbols/second of every encoder tier on the
+Figure 7 CPU workload (entropy-matched enwik8 surrogate, n=11, K=32):
+
+- ``seed_loop``   — the seed commit's per-group encode loop
+  (reimplemented below verbatim), with event recording: the Recoil
+  "encode once, record split metadata" path before this PR;
+- ``reference``   — ``InterleavedEncoder.encode_reference`` (the kept
+  differential loop, one PR of hoists ahead of the seed);
+- ``fused``       — the fused wide-lane encode kernel, events recorded
+  in-kernel (single stream: K-wide, dependency-bound);
+- ``recoil_full`` — fused pass + split selection + metadata;
+- partition sweep — all Conventional partitions fused into one
+  ``(P*K,)``-wide kernel call vs the seed loop encoding them one by
+  one: the width the fused kernel is designed for, mirroring
+  ``bench_fused.py``'s task-fused headline.
+
+``speedup_fused_vs_seed`` (the tracked headline) is the fused kernel
+vs the seed loop at the widest sweep point; the single-stream ratio is
+reported alongside.  CI runs this in smoke mode.  Usage::
+
+    python benchmarks/bench_encode.py [--symbols 300000] [--repeats 3]
+        [--out BENCH_encode.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import time
+
+import numpy as np
+
+from repro.baselines.conventional import ConventionalCodec, partition_bounds
+from repro.core.encoder import RecoilEncoder
+from repro.data import text_surrogate
+from repro.rans.adaptive import StaticModelProvider
+from repro.rans.constants import L_BOUND, RENORM_BITS, RENORM_MASK
+from repro.rans.interleaved import InterleavedDecoder, InterleavedEncoder
+from repro.rans.model import SymbolModel
+
+QUANT_BITS = 11
+LANES = 32
+PARTITION_SWEEP = (1, 8, 16, 32)
+
+
+def _seed_encode(provider, lanes, data, record_events=False):
+    """The seed commit's ``InterleavedEncoder.encode`` loop, verbatim
+    (modulo surrounding class plumbing) — the benchmark baseline."""
+    K = lanes
+    N = len(data)
+    n = provider.quant_bits
+    shift = np.uint64(RENORM_BITS + 16 - n)
+    rb = np.uint64(RENORM_BITS)
+    n64 = np.uint64(n)
+    mask16 = np.uint64(RENORM_MASK)
+
+    f_all, cdf_all = provider.gather_freq_cdf(data, start_index=1)
+
+    x = np.full(K, L_BOUND, dtype=np.uint64)
+    words = np.empty(N + 8, dtype=np.uint16)
+    if record_events:
+        ev_sym = np.empty(N + 8, dtype=np.uint64)
+        ev_lane = np.empty(N + 8, dtype=np.uint16)
+        ev_state = np.empty(N + 8, dtype=np.uint16)
+    wc = 0
+
+    num_groups = -(-N // K)
+    for g in range(num_groups):
+        base = g * K
+        cnt = min(K, N - base)
+        f = f_all[base : base + cnt]
+        cdf = cdf_all[base : base + cnt]
+        xs = x[:cnt]
+        idx = np.flatnonzero(xs >= (f << shift))
+        c = len(idx)
+        if c:
+            overflowed = xs[idx]
+            words[wc : wc + c] = (overflowed & mask16).astype(np.uint16)
+            renormed = overflowed >> rb
+            x[idx] = renormed
+            if record_events:
+                ev_sym[wc : wc + c] = base + idx + 1
+                ev_lane[wc : wc + c] = idx
+                ev_state[wc : wc + c] = renormed.astype(np.uint16)
+            wc += c
+            xs = x[:cnt]
+        q = xs // f
+        x[:cnt] = (q << n64) + cdf + (xs - q * f)
+    return words[:wc].copy(), x
+
+
+def _seed_encode_partitions(provider, data, partitions):
+    """Seed-style Conventional encode: the seed loop over each
+    partition in turn (the seed had no multi-task kernel)."""
+    chunks = []
+    for start, end in partition_bounds(len(data), partitions):
+        words, _ = _seed_encode(provider, LANES, data[start:end])
+        chunks.append(words)
+    return chunks
+
+
+def _rate(fn, n_symbols, repeats: int) -> float:
+    """Best-of-N symbols/second for ``fn``."""
+    fn()
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return n_symbols / best
+
+
+def run(symbols: int, repeats: int) -> dict:
+    data = text_surrogate(symbols, target_entropy=5.29, seed=77)
+    model = SymbolModel.from_data(data, QUANT_BITS, alphabet_size=256)
+    provider = StaticModelProvider(model)
+    N = len(data)
+
+    # Correctness before speed: fused == seed loop, and it decodes.
+    encoder = InterleavedEncoder(provider, LANES)
+    fused = encoder.encode(data, record_events=True)
+    seed_words, seed_states = _seed_encode(
+        provider, LANES, data, record_events=True
+    )
+    if not np.array_equal(fused.words, seed_words) or not np.array_equal(
+        fused.final_states, seed_states
+    ):
+        raise AssertionError("fused encode diverged from the seed loop")
+    decoded = InterleavedDecoder(provider, LANES).decode(
+        fused.words, fused.final_states, N
+    )
+    if not np.array_equal(decoded, data):
+        raise AssertionError("encode/decode round trip failed")
+
+    rates: dict[str, float] = {}
+    rates["seed_loop"] = _rate(
+        lambda: _seed_encode(provider, LANES, data, record_events=True),
+        N, repeats,
+    )
+    rates["reference"] = _rate(
+        lambda: encoder.encode_reference(data, record_events=True),
+        N, repeats,
+    )
+    rates["fused"] = _rate(
+        lambda: encoder.encode(data, record_events=True), N, repeats
+    )
+    recoil = RecoilEncoder(provider, LANES)
+    rates["recoil_full"] = _rate(
+        lambda: recoil.encode(data, num_threads=8), N, repeats
+    )
+
+    # -- the width the kernel is built for: P partitions, one call ------
+    codec = ConventionalCodec(provider, LANES)
+    sweep: dict[str, dict[str, float]] = {}
+    for p in PARTITION_SWEEP:
+        fused_r = _rate(lambda p=p: codec.encode(data, p), N, repeats)
+        seed_r = _rate(
+            lambda p=p: _seed_encode_partitions(provider, data, p),
+            N, repeats,
+        )
+        sweep[str(p)] = {
+            "fused": round(fused_r, 1),
+            "seed_loop": round(seed_r, 1),
+            "speedup": round(fused_r / seed_r, 3),
+        }
+
+    widest = sweep[str(PARTITION_SWEEP[-1])]
+    return {
+        "workload": {
+            "dataset": "enwik8-surrogate (Figure 7 CPU panel)",
+            "symbols": symbols,
+            "quant_bits": QUANT_BITS,
+            "lanes": LANES,
+        },
+        "symbols_per_sec": {k: round(v, 1) for k, v in rates.items()},
+        "speedup_fused_vs_seed_single_stream": round(
+            rates["fused"] / rates["seed_loop"], 3
+        ),
+        "partition_sweep_symbols_per_sec": sweep,
+        "speedup_fused_vs_seed": widest["speedup"],
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--symbols", type=int, default=300_000)
+    ap.add_argument("--repeats", type=int, default=3)
+    ap.add_argument(
+        "--out",
+        default=str(pathlib.Path(__file__).resolve().parents[1]
+                    / "BENCH_encode.json"),
+    )
+    args = ap.parse_args(argv)
+
+    result = run(args.symbols, args.repeats)
+    with open(args.out, "w") as fh:
+        json.dump(result, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps(result, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

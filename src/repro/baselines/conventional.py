@@ -68,7 +68,12 @@ def partition_bounds(num_symbols: int, partitions: int) -> list[tuple[int, int]]
 def _slice_provider(
     provider: AdaptiveModelProvider, start: int, end: int
 ) -> AdaptiveModelProvider:
-    """Provider for a partition's local index space (1-based)."""
+    """Provider for a partition's local index space (1-based).
+
+    Only the reference (per-partition loop) encode path needs this;
+    the fused kernel resolves adaptive models through each task's
+    ``start_index`` directly.
+    """
     if provider.is_static:
         return provider
     ids = provider.model_ids_for_range(start + 1, end + 1)
@@ -121,12 +126,63 @@ class ConventionalCodec:
         # Reused across decode calls so the fused kernel's scratch
         # arena amortizes (DESIGN.md §9).
         self._engine = LaneEngine(provider, lanes)
+        self._encode_arena = None  # fused encode scratch, lazy
 
     # -- encoding -------------------------------------------------------
 
     def encode(
         self, data: np.ndarray, partitions: int
     ) -> ConventionalEncoded:
+        """Encode all partitions in one fused multi-task kernel call.
+
+        Partitions are independent interleaved coders, so their lane
+        states advance as a single ``(P * lanes,)``-wide vector — the
+        encode-side twin of the batched decode, and the path where the
+        fused kernel's width actually scales (a lone stream is
+        sequentially dependent group-to-group).  Bit-identical to
+        encoding each partition with the reference loop.
+        """
+        from repro.parallel.fused_encode import EncodeTask, fused_encode_run
+
+        data = np.ascontiguousarray(data)
+        bounds = partition_bounds(len(data), partitions)
+        tasks = [
+            EncodeTask(data[start:end], start_index=start + 1)
+            for start, end in bounds
+        ]
+        if self._encode_arena is None:
+            from repro.parallel.buffers import ScratchArena
+
+            self._encode_arena = ScratchArena()
+        outs = fused_encode_run(
+            self.provider, self.lanes, tasks, self._encode_arena
+        )
+        finals = np.empty((len(bounds), self.lanes), dtype=np.uint64)
+        offsets = np.empty(len(bounds), dtype=np.int64)
+        total = 0
+        for k, out in enumerate(outs):
+            finals[k] = out.final_states
+            total += len(out.words)
+            offsets[k] = total
+        words = (
+            np.concatenate([o.words for o in outs])
+            if outs
+            else np.empty(0, dtype=np.uint16)
+        )
+        return ConventionalEncoded(
+            words=words,
+            word_offsets=offsets,
+            final_states=finals,
+            bounds=bounds,
+            num_symbols=len(data),
+            lanes=self.lanes,
+            quant_bits=self.provider.quant_bits,
+        )
+
+    def encode_reference(
+        self, data: np.ndarray, partitions: int
+    ) -> ConventionalEncoded:
+        """Per-partition reference-loop encode (differential baseline)."""
         data = np.ascontiguousarray(data)
         bounds = partition_bounds(len(data), partitions)
         word_chunks: list[np.ndarray] = []
@@ -135,9 +191,9 @@ class ConventionalCodec:
         total = 0
         for k, (start, end) in enumerate(bounds):
             sub_provider = _slice_provider(self.provider, start, end)
-            enc = InterleavedEncoder(sub_provider, self.lanes).encode(
-                data[start:end]
-            )
+            enc = InterleavedEncoder(
+                sub_provider, self.lanes
+            ).encode_reference(data[start:end])
             word_chunks.append(enc.words)
             finals[k] = enc.final_states
             total += len(enc.words)

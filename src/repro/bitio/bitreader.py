@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.errors import DecodeError
 
 
@@ -61,6 +63,40 @@ class BitReader:
         chunk >>= total_bits - (end - 8 * first_byte)
         self._pos = end
         return chunk & ((1 << width) - 1)
+
+    def read_bits_array(self, count: int, width: int) -> np.ndarray:
+        """Read ``count`` consecutive ``width``-bit fields at once.
+
+        Equivalent to ``[read_bits(width) for _ in range(count)]`` but
+        unpacked with one vectorized pass; returns an int64 array.
+        """
+        if width < 0:
+            raise ValueError(f"width must be >= 0, got {width}")
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        if width == 0 or count == 0:
+            return np.zeros(count, dtype=np.int64)
+        if width > 62:  # int64 dot product would overflow
+            return np.array(
+                [self.read_bits(width) for _ in range(count)],
+                dtype=np.int64,
+            )
+        total = count * width
+        if total > self.bits_remaining:
+            raise DecodeError(
+                f"bit reader exhausted: need {total} bits, "
+                f"have {self.bits_remaining}"
+            )
+        start = self._pos
+        first = start >> 3
+        last = (start + total - 1) >> 3
+        span = np.frombuffer(self._data, np.uint8, last - first + 1, first)
+        bits = np.unpackbits(span)[start - 8 * first :][:total]
+        powers = np.left_shift(
+            np.int64(1), np.arange(width - 1, -1, -1, dtype=np.int64)
+        )
+        self._pos = start + total
+        return bits.reshape(count, width) @ powers
 
     def read_unary(self) -> int:
         """Read one-bits until a zero terminator; return their count."""

@@ -4,9 +4,16 @@ Bits are accumulated into a growing byte buffer; the first bit written
 lands in the most-significant bit of the first byte.  This matches the
 layout in paper §4.3, where a 4-bit width header is followed by packed
 fixed-width values (read back in the same order).
+
+Bulk entry points (:meth:`BitWriter.write_bits` for arbitrarily wide
+values, :meth:`BitWriter.write_bits_array` for fixed-width series)
+render whole byte runs at once instead of looping bit-by-bit, so the
+serialization hot paths never pay per-bit Python dispatch.
 """
 
 from __future__ import annotations
+
+import numpy as np
 
 
 class BitWriter:
@@ -64,24 +71,85 @@ class BitWriter:
             raise ValueError(f"value {value} does not fit in {width} bits")
         if width == 0:
             return
-        # Fast path: fill the accumulator byte-at-a-time.
-        nbits = self._nbits
+        # Render every complete byte in one int.to_bytes call (C-level
+        # regardless of width) and keep only the remainder bits.
         acc = (self._acc << width) | value
-        nbits += width
-        buf = self._buf
-        while nbits >= 8:
-            nbits -= 8
-            buf.append((acc >> nbits) & 0xFF)
-        self._acc = acc & ((1 << nbits) - 1)
-        self._nbits = nbits
+        nbits = self._nbits + width
+        rem = nbits & 7
+        nbytes = nbits >> 3
+        if nbytes:
+            self._buf += (acc >> rem).to_bytes(nbytes, "big")
+            acc &= (1 << rem) - 1
+        self._acc = acc
+        self._nbits = rem
+
+    def write_bits_array(self, values, width: int) -> None:
+        """Append each of ``values`` as a ``width``-bit field.
+
+        Bit-stream layout is identical to calling :meth:`write_bits`
+        per element; the packing itself is vectorized (one
+        ``np.packbits`` for the whole series).
+        """
+        if width < 0:
+            raise ValueError(f"width must be >= 0, got {width}")
+        values = np.asarray(values)
+        if values.ndim != 1:
+            raise ValueError("values must be 1-D")
+        if len(values) == 0:
+            return
+        if values.dtype.kind not in "ui":
+            raise ValueError("values must be integers")
+        if values.dtype.kind == "i" and int(values.min()) < 0:
+            raise ValueError("negative value in bit series")
+        top = int(values.max())
+        if width < top.bit_length():
+            raise ValueError(f"value {top} does not fit in {width} bits")
+        if width == 0:
+            return
+        if width > 57:  # keep the shift matrix inside uint64
+            for v in values.tolist():
+                self.write_bits(int(v), width)
+            return
+        if len(values) <= 256:
+            # Short series: folding into one Python int and rendering
+            # it with a single write_bits beats numpy's fixed setup
+            # cost (the fold is quadratic, so long series take the
+            # vectorized path below).
+            big = 0
+            for v in values.tolist():
+                big = (big << width) | v
+            self.write_bits(big, len(values) * width)
+            return
+        shifts = np.arange(width - 1, -1, -1, dtype=np.uint64)
+        bits = (
+            (values.astype(np.uint64)[:, None] >> shifts) & np.uint64(1)
+        ).astype(np.uint8)
+        head = self._nbits
+        if head:
+            acc_bits = (
+                (np.uint64(self._acc)
+                 >> np.arange(head - 1, -1, -1, dtype=np.uint64))
+                & np.uint64(1)
+            ).astype(np.uint8)
+            stream = np.concatenate([acc_bits, bits.ravel()])
+        else:
+            stream = bits.ravel()
+        rem = len(stream) & 7
+        whole = len(stream) - rem
+        if whole:
+            self._buf += np.packbits(stream[:whole]).tobytes()
+        acc = 0
+        for b in stream[whole:].tolist():
+            acc = (acc << 1) | int(b)
+        self._acc = acc
+        self._nbits = rem
 
     def write_unary(self, value: int) -> None:
         """Append ``value`` one-bits followed by a terminating zero."""
         if value < 0:
             raise ValueError("unary value must be >= 0")
-        for _ in range(value):
-            self.write_bit(1)
-        self.write_bit(0)
+        # One bulk write: `value` ones then the terminating zero.
+        self.write_bits((1 << (value + 1)) - 2, value + 1)
 
     def write_signed(self, value: int, width: int) -> None:
         """Append a sign bit (1 = negative) then ``width`` magnitude bits."""

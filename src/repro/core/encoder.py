@@ -75,17 +75,22 @@ class RecoilEncoder:
         self.provider = provider
         self.lanes = lanes
         self.window = window
+        # One long-lived interleaved encoder per Recoil encoder, so the
+        # fused kernel's scratch arena survives across encode calls
+        # (DESIGN.md §9); therefore not shareable between threads.
+        self._encoder = InterleavedEncoder(provider, lanes)
 
     def encode(self, data: np.ndarray, num_threads: int) -> RecoilEncoded:
         """Encode ``data`` and select up to ``num_threads - 1`` splits.
 
         ``num_threads`` is the *maximum parallelism the server intends
         to support* (§3.3); decoders with less capability receive
-        combined (subsampled) metadata at serve time.
+        combined (subsampled) metadata at serve time.  The interleaved
+        pass runs on the fused wide-lane encode kernel, which records
+        the renormalization events in-kernel; the split selector
+        consumes the preassembled event arrays directly.
         """
-        enc = InterleavedEncoder(self.provider, self.lanes).encode(
-            data, record_events=True
-        )
+        enc = self._encoder.encode(data, record_events=True)
         selector = SplitSelector(
             enc.events, self.lanes, enc.num_symbols, window=self.window
         )

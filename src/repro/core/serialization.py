@@ -50,15 +50,12 @@ def write_unsigned_series(writer: BitWriter, values: np.ndarray) -> None:
     if width > _MAX_WIDTH:
         raise MetadataError(f"series value too large for {_MAX_WIDTH} bits")
     writer.write_bits(width - 1, _WIDTH_FIELD_BITS)
-    for v in values.tolist():
-        writer.write_bits(v, width)
+    writer.write_bits_array(values, width)
 
 
 def read_unsigned_series(reader: BitReader, count: int) -> np.ndarray:
     width = reader.read_bits(_WIDTH_FIELD_BITS) + 1
-    return np.array(
-        [reader.read_bits(width) for _ in range(count)], dtype=np.int64
-    )
+    return reader.read_bits_array(count, width)
 
 
 def write_signed_series(writer: BitWriter, values: np.ndarray) -> None:
@@ -74,21 +71,22 @@ def write_signed_series(writer: BitWriter, values: np.ndarray) -> None:
     has_neg = bool(np.any(values < 0))
     writer.write_bits(width - 1, _WIDTH_FIELD_BITS)
     writer.write_bit(1 if has_neg else 0)
-    for v in values.tolist():
-        if has_neg:
-            writer.write_bit(1 if v < 0 else 0)
-        writer.write_bits(abs(v), width)
+    if has_neg:
+        # sign bit + magnitude per element == one (width + 1)-bit field.
+        combined = ((values < 0).astype(np.int64) << width) | np.abs(values)
+        writer.write_bits_array(combined, width + 1)
+    else:
+        writer.write_bits_array(values, width)
 
 
 def read_signed_series(reader: BitReader, count: int) -> np.ndarray:
     width = reader.read_bits(_WIDTH_FIELD_BITS) + 1
     has_neg = reader.read_bit()
-    out = np.empty(count, dtype=np.int64)
-    for i in range(count):
-        sign = reader.read_bit() if has_neg else 0
-        mag = reader.read_bits(width)
-        out[i] = -mag if sign else mag
-    return out
+    if not has_neg:
+        return reader.read_bits_array(count, width)
+    combined = reader.read_bits_array(count, width + 1)
+    mag = combined & ((1 << width) - 1)
+    return np.where(combined >> width, -mag, mag)
 
 
 # ---------------------------------------------------------------------------
@@ -127,8 +125,7 @@ def serialize_metadata(md: RecoilMetadata) -> bytes:
             raise MetadataError(
                 "entry state exceeds 16 bits — Lemma 3.1 violated?"
             )
-        for s in states.tolist():
-            w.write_bits(int(s), 16)
+        w.write_bits_array(states, 16)
         lane_grp = e.group_ids(md.lanes)
         write_unsigned_series(w, anchor - lane_grp)
     return bytes(head) + w.to_bytes()
@@ -161,9 +158,7 @@ def parse_metadata(blob: bytes, offset: int = 0) -> tuple[RecoilMetadata, int]:
 
     entries: list[SplitEntry] = []
     for k in range(num_entries):
-        states = np.array(
-            [r.read_bits(16) for _ in range(lanes)], dtype=np.uint32
-        )
+        states = r.read_bits_array(lanes, 16).astype(np.uint32)
         diffs = read_unsigned_series(r, lanes)
         group_ids = anchors[k] - diffs
         entries.append(

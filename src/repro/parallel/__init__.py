@@ -9,6 +9,9 @@
   (DESIGN.md §8): one flat state vector across all partitions, an
   analytically-planned steady-state fast path, zero per-iteration
   allocation.
+- :mod:`repro.parallel.fused_encode` — the encode-side twin
+  (DESIGN.md §10): blocked trajectory staging, in-kernel split-event
+  recording, independent encodes fused into one wide state vector.
 - :mod:`repro.parallel.buffers` — the scratch-buffer arena backing the
   kernels (DESIGN.md §9).
 - :mod:`repro.parallel.executor` — thread-pool execution of decode

@@ -32,6 +32,38 @@ from repro.rans.model import SymbolModel
 
 
 @dataclass(frozen=True)
+class EncodeTables:
+    """Symbol-indexed gather tables for the fused encode kernel.
+
+    One row per model, one column per symbol, everything uint64 so the
+    kernel's per-group gathers land directly in the state dtype — the
+    encode-side mirror of :class:`DecodeTables`:
+
+    - ``freq_sym[m, s]``  — ``f(s)``, the Eq. 1 divisor;
+    - ``comp_sym[m, s]``  — ``2**n - f(s)``, so Eq. 1 collapses to
+      ``x' = x + (x // f) * comp + cdf`` (exact integer identity with
+      the quotient/remainder form, one op fewer);
+    - ``cdf_sym[m, s]``   — ``F(s)``;
+    - ``bound_sym[m, s]`` — the Eq. 3 renormalization threshold
+      ``f << (32 - n)``.
+
+    The 2-D tables are C-contiguous; ``.ravel()`` views of them are
+    used for flat gathers of ``model_id * alphabet + symbol``.
+    Zero-frequency symbols keep a zero ``freq_sym`` entry; the kernel
+    checks gathered frequencies and rejects them before dividing.
+    """
+
+    freq_sym: np.ndarray  # (num_models, alphabet) uint64
+    comp_sym: np.ndarray  # (num_models, alphabet) uint64
+    cdf_sym: np.ndarray  # (num_models, alphabet) uint64
+    bound_sym: np.ndarray  # (num_models, alphabet) uint64
+
+    @property
+    def alphabet(self) -> int:
+        return self.freq_sym.shape[1]
+
+
+@dataclass(frozen=True)
 class DecodeTables:
     """Slot-indexed gather tables for the fused decode kernel.
 
@@ -91,6 +123,7 @@ class AdaptiveModelProvider:
         self._cdf_table: np.ndarray | None = None
         self._lut_table: np.ndarray | None = None
         self._decode_tables: DecodeTables | None = None
+        self._encode_tables: EncodeTables | None = None
         self._dense_ids: np.ndarray | None = None
 
     # -- dense tables ---------------------------------------------------
@@ -155,6 +188,31 @@ class AdaptiveModelProvider:
                 bias[k] = slots - m.cdf[lut].astype(np.uint64)
             self._decode_tables = DecodeTables(sym, freq, bias)
         return self._decode_tables
+
+    @property
+    def encode_tables(self) -> EncodeTables:
+        """Pre-materialized symbol-indexed tables (built once, cached).
+
+        The fused encode kernel gathers from these; building them here
+        keeps every per-call ``.astype`` and threshold shift out of the
+        hot loop (the encode mirror of :attr:`decode_tables`).
+        """
+        if self._encode_tables is None:
+            from repro.rans.constants import RENORM_BITS
+
+            n = self.quant_bits
+            shift = np.uint64(RENORM_BITS + 16 - n)  # bound = f << (32 - n)
+            freq = self.freq_table.astype(np.uint64)
+            cdf = self.cdf_table[:, :-1].astype(np.uint64)
+            comp = np.uint64(1 << n) - freq
+            bound = freq << shift
+            self._encode_tables = EncodeTables(
+                np.ascontiguousarray(freq),
+                np.ascontiguousarray(comp),
+                np.ascontiguousarray(cdf),
+                np.ascontiguousarray(bound),
+            )
+        return self._encode_tables
 
     def dense_model_ids(self, total_symbols: int) -> np.ndarray:
         """Cached uint64 model id per 0-based symbol position.

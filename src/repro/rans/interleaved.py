@@ -120,7 +120,50 @@ class InterleavedEncoder:
     def encode(
         self, data: np.ndarray, record_events: bool = False
     ) -> InterleavedEncodeResult:
-        """Encode ``data`` (1-D integer array) into a single stream."""
+        """Encode ``data`` (1-D integer array) into a single stream.
+
+        Routes through the fused wide-lane encode kernel
+        (:mod:`repro.parallel.fused_encode`): per-block operand
+        gathers from provider-cached
+        :class:`~repro.rans.adaptive.EncodeTables`, a straight-line
+        sequential sweep over interleave groups, and bulk in-kernel
+        word emission + split-event recording reconstructed from the
+        staged state trajectory.  :meth:`encode_reference` is the
+        original per-group masked loop, kept bit-identical for
+        differential testing.
+        """
+        from repro.parallel.fused_encode import EncodeTask, fused_encode_run
+
+        data = np.ascontiguousarray(data)
+        if data.ndim != 1:
+            raise EncodeError(f"data must be 1-D, got shape {data.shape}")
+        task = EncodeTask(data, start_index=1, record_events=record_events)
+        out = fused_encode_run(
+            self.provider, self.lanes, [task], self._get_arena()
+        )[0]
+        events = None
+        if record_events:
+            events = RenormEvents(
+                symbol_index=out.event_symbol,
+                lane=out.event_lane,
+                state_after=out.event_state,
+            )
+        return InterleavedEncodeResult(
+            words=out.words,
+            final_states=out.final_states,
+            num_symbols=len(data),
+            lanes=self.lanes,
+            events=events,
+        )
+
+    def encode_reference(
+        self, data: np.ndarray, record_events: bool = False
+    ) -> InterleavedEncodeResult:
+        """The original per-group masked loop (differential reference).
+
+        Bit-identical to :meth:`encode` — same words, final states and
+        renormalization events; kept unoptimized on purpose.
+        """
         data = np.ascontiguousarray(data)
         if data.ndim != 1:
             raise EncodeError(f"data must be 1-D, got shape {data.shape}")

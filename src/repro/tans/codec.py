@@ -55,7 +55,8 @@ class TansEncoder:
         x = T  # canonical start state
         # Collected (value, nb) pairs in encode order; the bitstream is
         # written in reverse so the decoder reads forward.
-        chunks: list[tuple[int, int]] = []
+        vals: list[int] = []
+        nbs: list[int] = []
         for s in reversed(np.asarray(data).tolist()):
             f = f_list[s]
             tf = two_f[s]
@@ -65,11 +66,27 @@ class TansEncoder:
                 y >>= 1
                 nb += 1
             if nb:
-                chunks.append((x & ((1 << nb) - 1), nb))
+                vals.append(x & ((1 << nb) - 1))
+                nbs.append(nb)
             x = nxt[offs[s] + y - f]
         w = BitWriter()
-        for value, nb in reversed(chunks):
-            w.write_bits(value, nb)
+        # Bulk emission: expand the variable-width chunks (reversed to
+        # stream order) into one flat bit vector and pack it in a
+        # single vectorized pass instead of one write_bits per symbol.
+        if vals:
+            vals.reverse()
+            nbs.reverse()
+            v = np.array(vals, dtype=np.uint64)
+            widths = np.array(nbs, dtype=np.int64)
+            total = int(widths.sum())
+            ends = np.cumsum(widths)
+            # Bit p of the stream belongs to the chunk ending at
+            # ends[i] > p and holds value bit (end - 1 - p).
+            shifts = (
+                np.repeat(ends, widths) - 1 - np.arange(total, dtype=np.int64)
+            ).astype(np.uint64)
+            bits = (np.repeat(v, widths) >> shifts) & np.uint64(1)
+            w.write_bits_array(bits, 1)
         bit_count = len(w)
         return TansEncodeResult(
             payload=w.to_bytes(),
@@ -123,7 +140,17 @@ class TansDecoder:
         sym_t = table.dec_sym.tolist()
         nb_t = table.dec_nb.tolist()
         base_t = table.dec_base.tolist()
-        bits = payload
+        # Vectorized bit extraction: one 24-bit big-endian window per
+        # byte offset, built in a single pass.  A read of nb <= 16 bits
+        # at bit position p is then two integer ops against the window
+        # starting at byte p >> 3 (7 skew bits + 16 payload bits fit).
+        padded = np.zeros(len(payload) + 3, dtype=np.uint32)
+        padded[: len(payload)] = payload
+        win24 = (
+            (padded[:-3] << np.uint32(16))
+            | (padded[1:-2] << np.uint32(8))
+            | padded[2:-1]
+        ).tolist()
         out = np.empty(num_symbols, dtype=np.int64)
         x = int(state)
         p = int(bitpos)
@@ -133,10 +160,9 @@ class TansDecoder:
             if nb:
                 if p + nb > bit_count:
                     raise DecodeError("tANS bitstream exhausted")
-                val = 0
-                for b in range(nb):
-                    q = p + b
-                    val = (val << 1) | ((int(bits[q >> 3]) >> (7 - (q & 7))) & 1)
+                val = (win24[p >> 3] >> (24 - (p & 7) - nb)) & (
+                    (1 << nb) - 1
+                )
                 p += nb
             else:
                 val = 0

@@ -34,21 +34,22 @@ def spread_symbols(freqs: np.ndarray, table_bits: int) -> np.ndarray:
     carry fractional bits (and, incidentally, self-synchronize).
     """
     T = 1 << table_bits
-    total = int(np.asarray(freqs).sum())
+    freqs = np.asarray(freqs, dtype=np.int64)
+    total = int(freqs.sum())
     if total != T:
         raise ModelError(
             f"frequencies must sum to table size {T}, got {total}"
         )
-    spread = np.empty(T, dtype=np.int64)
+    # The walk visits position (j * step) & mask at step j, assigning
+    # symbols in frequency-run order — both sides are closed-form, so
+    # the whole spread is two vectorized ops instead of T iterations.
     step = (T >> 1) + (T >> 3) + 3
     mask = T - 1
-    pos = 0
-    for s, f in enumerate(np.asarray(freqs, dtype=np.int64)):
-        for _ in range(int(f)):
-            spread[pos] = s
-            pos = (pos + step) & mask
-    if pos != 0:
-        raise ModelError("spread walk did not return to origin")
+    positions = (np.arange(T, dtype=np.int64) * step) & mask
+    spread = np.empty(T, dtype=np.int64)
+    spread[positions] = np.repeat(
+        np.arange(len(freqs), dtype=np.int64), freqs
+    )
     return spread
 
 
@@ -77,22 +78,28 @@ class TansTable:
 
         T = self.table_size
         dec_sym = spread.copy()
-        dec_nb = np.empty(T, dtype=np.int64)
-        dec_base = np.empty(T, dtype=np.int64)
         enc_sub_offset = np.zeros(self.alphabet_size + 1, dtype=np.int64)
         np.cumsum(freqs, out=enc_sub_offset[1:])
-        enc_next = np.empty(T, dtype=np.int64)
 
-        next_sub = freqs.copy()  # per-symbol counter walking [f, 2f)
-        for p in range(T):
-            s = int(spread[p])
-            sub = int(next_sub[s])
-            next_sub[s] += 1
-            # Bits needed to lift sub back into [T, 2T).
-            nb = table_bits - (sub.bit_length() - 1)
-            dec_nb[p] = nb
-            dec_base[p] = sub << nb
-            enc_next[enc_sub_offset[s] + sub - int(freqs[s])] = T + p
+        # Per-position sub-state: position p is its symbol's occ-th
+        # occurrence (in increasing p, recovered via a stable argsort)
+        # and walks sub = f_s + occ through [f_s, 2 f_s).
+        order = np.argsort(spread, kind="stable")
+        occ = np.empty(T, dtype=np.int64)
+        occ[order] = np.arange(T, dtype=np.int64) - np.repeat(
+            enc_sub_offset[:-1], freqs
+        )
+        sub = freqs[spread] + occ
+        # Bits needed to lift sub back into [T, 2T):
+        # nb = table_bits - (bit_length(sub) - 1), with bit_length via
+        # frexp (exact for integers below 2**53).
+        _, exp = np.frexp(sub.astype(np.float64))
+        dec_nb = table_bits - (exp.astype(np.int64) - 1)
+        dec_base = sub << dec_nb
+        enc_next = np.empty(T, dtype=np.int64)
+        enc_next[enc_sub_offset[spread] + occ] = T + np.arange(
+            T, dtype=np.int64
+        )
         self.dec_sym = dec_sym
         self.dec_nb = dec_nb
         self.dec_base = dec_base

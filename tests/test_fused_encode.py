@@ -1,0 +1,260 @@
+"""Differential tests for the fused wide-lane encode kernel.
+
+Every configuration pits the fused kernel
+(:meth:`InterleavedEncoder.encode`, backed by
+:mod:`repro.parallel.fused_encode`) against the original per-group
+masked loop (:meth:`InterleavedEncoder.encode_reference`).  Streams,
+final states and renormalization-event logs must be **bit-identical**
+— the fused kernel is a re-scheduling of the same work, not an
+approximation — and everything it encodes must decode through the
+fused decode kernel of PR 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.conventional import ConventionalCodec
+from repro.core.decoder import RecoilDecoder
+from repro.core.encoder import RecoilEncoder
+from repro.errors import EncodeError, ModelError
+from repro.parallel.buffers import ScratchArena
+from repro.parallel.fused_encode import EncodeTask, fused_encode_run
+from repro.rans.adaptive import IndexedModelProvider, StaticModelProvider
+from repro.rans.interleaved import InterleavedDecoder, InterleavedEncoder
+from repro.rans.model import SymbolModel
+
+LANES = [1, 4, 32]
+
+
+@pytest.fixture(scope="module")
+def payload():
+    r = np.random.default_rng(421)
+    return np.minimum(np.floor(r.exponential(9.0, 6_000)), 255).astype(
+        np.uint8
+    )
+
+
+@pytest.fixture(scope="module")
+def adaptive_provider(payload):
+    """Three distinct models cycled per symbol index."""
+    sym = np.arange(256, dtype=np.float64)
+    models = [
+        SymbolModel.from_counts(np.exp(-sym / s) * 1_000 + 1, 10)
+        for s in (4.0, 12.0, 40.0)
+    ]
+    ids = (np.arange(len(payload)) // 7) % 3
+    return IndexedModelProvider(models, ids)
+
+
+def _provider(kind, payload, adaptive_provider):
+    if kind == "adaptive":
+        return adaptive_provider
+    return StaticModelProvider(
+        SymbolModel.from_data(payload, 11, alphabet_size=256)
+    )
+
+
+def _assert_encodes_equal(a, b):
+    assert np.array_equal(a.words, b.words)
+    assert np.array_equal(a.final_states, b.final_states)
+    assert a.num_symbols == b.num_symbols
+    if a.events is not None or b.events is not None:
+        assert np.array_equal(
+            a.events.symbol_index, b.events.symbol_index
+        )
+        assert np.array_equal(a.events.lane, b.events.lane)
+        assert np.array_equal(a.events.state_after, b.events.state_after)
+
+
+class TestFusedVsReference:
+    @pytest.mark.parametrize("lanes", LANES)
+    @pytest.mark.parametrize("kind", ["static", "adaptive"])
+    @pytest.mark.parametrize("record_events", [False, True])
+    def test_bit_identical(
+        self, payload, adaptive_provider, lanes, kind, record_events
+    ):
+        provider = _provider(kind, payload, adaptive_provider)
+        enc = InterleavedEncoder(provider, lanes=lanes)
+        _assert_encodes_equal(
+            enc.encode(payload, record_events=record_events),
+            enc.encode_reference(payload, record_events=record_events),
+        )
+
+    @pytest.mark.parametrize("lanes", LANES)
+    @pytest.mark.parametrize(
+        "n", [0, 1, 3, 31, 32, 33, 63, 64, 65, 1023, 4097]
+    )
+    def test_edge_lengths(self, payload, lanes, n):
+        provider = _provider("static", payload, None)
+        enc = InterleavedEncoder(provider, lanes=lanes)
+        _assert_encodes_equal(
+            enc.encode(payload[:n], record_events=True),
+            enc.encode_reference(payload[:n], record_events=True),
+        )
+
+    def test_n16_first_group_renorm(self, payload):
+        """n=16 admits first-group renormalization (f=1, x=L) — the
+        trickiest parameter point on the encode side too."""
+        model = SymbolModel.from_data(payload, 16, alphabet_size=256)
+        enc = InterleavedEncoder(model, lanes=32)
+        _assert_encodes_equal(
+            enc.encode(payload, record_events=True),
+            enc.encode_reference(payload, record_events=True),
+        )
+
+    def test_events_feed_identical_splits(self, payload):
+        """Same events ⇒ same split metadata ⇒ same serving behavior."""
+        provider = _provider("static", payload, None)
+        md_fused = RecoilEncoder(provider).encode(payload, 8).metadata
+        ref = InterleavedEncoder(provider, 32).encode_reference(
+            payload, record_events=True
+        )
+        from repro.core.splitter import SplitSelector
+
+        md_ref, _ = SplitSelector(
+            ref.events, 32, ref.num_symbols
+        ).select(8)
+        assert len(md_fused.entries) == len(md_ref.entries)
+        for a, b in zip(md_fused.entries, md_ref.entries):
+            assert a.word_offset == b.word_offset
+            assert np.array_equal(a.lane_indices, b.lane_indices)
+            assert np.array_equal(a.lane_states, b.lane_states)
+
+    def test_arena_reuse_across_sizes(self, payload):
+        """One encoder instance across shifting geometries must not
+        leak scratch state between calls (DESIGN.md §9)."""
+        provider = _provider("static", payload, None)
+        enc = InterleavedEncoder(provider, lanes=32)
+        for n in (4_096, 100, 6_000, 33, 0, 5_000):
+            _assert_encodes_equal(
+                enc.encode(payload[:n], record_events=True),
+                enc.encode_reference(payload[:n], record_events=True),
+            )
+
+    def test_zero_frequency_symbol_rejected(self, payload):
+        counts = np.zeros(256)
+        counts[:4] = [5, 3, 2, 1]
+        model = SymbolModel.from_counts(counts, 11)
+        assert int(model.freqs[200]) == 0
+        sparse = StaticModelProvider(model)
+        bad = np.array([0, 1, 200, 2], dtype=np.uint8)
+        with pytest.raises(ModelError):
+            InterleavedEncoder(sparse, lanes=2).encode(bad)
+        with pytest.raises(ModelError):
+            InterleavedEncoder(sparse, lanes=2).encode_reference(bad)
+
+    def test_non_1d_rejected(self, payload):
+        provider = _provider("static", payload, None)
+        with pytest.raises(EncodeError):
+            InterleavedEncoder(provider).encode(
+                np.zeros((2, 2), dtype=int)
+            )
+
+
+class TestRoundTripThroughFusedDecoder:
+    @pytest.mark.parametrize("lanes", LANES)
+    @pytest.mark.parametrize("kind", ["static", "adaptive"])
+    def test_full_stream(self, payload, adaptive_provider, lanes, kind):
+        provider = _provider(kind, payload, adaptive_provider)
+        enc = InterleavedEncoder(provider, lanes=lanes).encode(payload)
+        dec = InterleavedDecoder(provider, lanes=lanes)
+        out = dec.decode(enc.words, enc.final_states, enc.num_symbols)
+        assert np.array_equal(out, payload)
+
+    @pytest.mark.parametrize("threads", [1, 2, 8])
+    @pytest.mark.parametrize("kind", ["static", "adaptive"])
+    def test_recoil_split_decode(
+        self, payload, adaptive_provider, threads, kind
+    ):
+        """Fused-encoded events drive mid-stream decoder entry."""
+        provider = _provider(kind, payload, adaptive_provider)
+        enc = RecoilEncoder(provider).encode(payload, num_threads=threads)
+        res = RecoilDecoder(provider).decode(
+            enc.words, enc.final_states, enc.metadata
+        )
+        assert np.array_equal(res.symbols, payload)
+
+
+class TestMultiTaskFusion:
+    @pytest.mark.parametrize("partitions", [1, 3, 8, 17])
+    @pytest.mark.parametrize("kind", ["static", "adaptive"])
+    def test_conventional_partitions_bit_identical(
+        self, payload, adaptive_provider, partitions, kind
+    ):
+        """All partitions fused into one kernel call == per-partition
+        reference loops, word for word."""
+        provider = _provider(kind, payload, adaptive_provider)
+        codec = ConventionalCodec(provider, lanes=32)
+        a = codec.encode(payload, partitions)
+        b = codec.encode_reference(payload, partitions)
+        assert np.array_equal(a.words, b.words)
+        assert np.array_equal(a.word_offsets, b.word_offsets)
+        assert np.array_equal(a.final_states, b.final_states)
+        out, _, _ = codec.decode(a)
+        assert np.array_equal(out, payload)
+
+    def test_unequal_task_lengths(self, payload):
+        """Tasks of very different sizes: short ones drain in the
+        steady window, long ones continue through per-task tails."""
+        provider = _provider("static", payload, None)
+        arena = ScratchArena()
+        sizes = [0, 7, 65, 2_000, 31, 6_000]
+        tasks = [
+            EncodeTask(payload[:sz], record_events=True) for sz in sizes
+        ]
+        outs = fused_encode_run(provider, 32, tasks, arena)
+        enc = InterleavedEncoder(provider, lanes=32)
+        for sz, out in zip(sizes, outs):
+            ref = enc.encode_reference(payload[:sz], record_events=True)
+            assert np.array_equal(out.words, ref.words)
+            assert np.array_equal(out.final_states, ref.final_states)
+            assert np.array_equal(
+                out.event_symbol, ref.events.symbol_index
+            )
+            assert np.array_equal(out.event_lane, ref.events.lane)
+            assert np.array_equal(
+                out.event_state, ref.events.state_after
+            )
+
+    def test_results_never_alias_scratch(self, payload):
+        """Arena rule 2: returned arrays are fresh — re-running the
+        kernel must not mutate previously returned results."""
+        provider = _provider("static", payload, None)
+        arena = ScratchArena()
+        first = fused_encode_run(
+            provider, 32, [EncodeTask(payload[:1000])], arena
+        )[0]
+        words_copy = first.words.copy()
+        states_copy = first.final_states.copy()
+        fused_encode_run(
+            provider, 32, [EncodeTask(payload[1000:3000])], arena
+        )
+        assert np.array_equal(first.words, words_copy)
+        assert np.array_equal(first.final_states, states_copy)
+
+
+class TestEncodeProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(min_value=0, max_value=2_000),
+        lanes=st.sampled_from([1, 2, 7, 32]),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_random_roundtrip_and_parity(self, n, lanes, seed):
+        r = np.random.default_rng(seed)
+        data = np.minimum(
+            np.floor(r.exponential(20.0, n)), 255
+        ).astype(np.uint8)
+        model = SymbolModel.from_counts(
+            np.bincount(data, minlength=256) + 1, 11
+        )
+        enc = InterleavedEncoder(model, lanes=lanes)
+        fused = enc.encode(data, record_events=True)
+        ref = enc.encode_reference(data, record_events=True)
+        _assert_encodes_equal(fused, ref)
+        dec = InterleavedDecoder(model, lanes=lanes)
+        out = dec.decode(fused.words, fused.final_states, n)
+        assert np.array_equal(out, data)
