@@ -1,10 +1,13 @@
 #!/usr/bin/env python3
-"""Content-delivery scenario (paper §1 and §3.3).
+"""Content-delivery scenario (paper §1 and §3.3), served for real.
 
 A server hosts one compressed asset, encoded once with Recoil metadata
 for the most parallel decoder it intends to support (a big GPU).
 Clients attach their parallel capacity to each request; the server
-shrinks the metadata *in real time* and serves the identical payload.
+shrinks the metadata *in real time* (answered from the service's LRU
+shrink cache after the first request per client class) and serves the
+identical payload.  Concurrent decode requests are fused into single
+wide-lane kernel dispatches by the request batcher.
 
 The script contrasts this with the Conventional partitioning approach,
 which must either store one variation per client class or ship the
@@ -16,7 +19,7 @@ Run:  python examples/content_delivery.py
 import numpy as np
 
 from repro.baselines import ConventionalCodec
-from repro.core import RecoilCodec, parse_container, recoil_shrink
+from repro.core import parse_container, recoil_service
 from repro.data import text_surrogate
 from repro.rans.model import SymbolModel
 
@@ -31,19 +34,22 @@ CLIENT_CLASSES = {
 data = text_surrogate(4_000_000, target_entropy=5.29, seed=11)
 model = SymbolModel.from_data(data, 11, alphabet_size=256)
 
-# ---- Recoil server: encode ONCE -------------------------------------
-recoil = RecoilCodec(model)
-master = recoil.compress(data, GPU_THREADS)
+# ---- Recoil server: encode ONCE, serve every class ------------------
+service = recoil_service(num_splits=GPU_THREADS)
+asset = service.put_asset("hero", data, model=model)
+master = asset.blob
 print(f"asset: {len(data):,} bytes -> master container {len(master):,} bytes")
 print(f"server storage (Recoil): {len(master):,} bytes (one variation)\n")
 
 print(f"{'client':<18} {'served bytes':>14} {'vs master':>10}  decode")
-total_recoil = 0
-for name, capacity in CLIENT_CLASSES.items():
-    served = recoil_shrink(master, capacity)
-    out = recoil.decompress(served)
+requests = [
+    (name, capacity, service.submit("hero", capacity))
+    for name, capacity in CLIENT_CLASSES.items()
+]
+for name, capacity, request in requests:
+    served = service.serve(name="hero", capacity=capacity)
+    out = request.result(timeout=300)
     assert np.array_equal(out, data)
-    total_recoil += len(served)
     print(
         f"{name:<18} {len(served):>14,} "
         f"{len(served) - len(master):>+10,}  OK ({capacity} threads)"
@@ -53,10 +59,10 @@ for name, capacity in CLIENT_CLASSES.items():
 conv = ConventionalCodec(model)
 print("\nConventional alternatives:")
 big = conv.compress(data, GPU_THREADS)
+embedded_blob = service.serve("hero", CLIENT_CLASSES["embedded"])
 print(
     f"  serve the GPU variation to everyone: {len(big):,} bytes/request "
-    f"(+{len(big) - len(recoil_shrink(master, 1)):,} vs Recoil embedded "
-    "client)"
+    f"(+{len(big) - len(embedded_blob):,} vs Recoil embedded client)"
 )
 storage = 0
 for name, capacity in CLIENT_CLASSES.items():
@@ -69,10 +75,21 @@ print(
 )
 
 # ---- the knob is metadata only ---------------------------------------
+laptop_blob = service.serve("hero", CLIENT_CLASSES["laptop"])  # cache hit
 p_full = parse_container(master)
-p_small = parse_container(recoil_shrink(master, 4))
-assert np.array_equal(p_full.words(master), p_small.words(recoil_shrink(master, 4)))
+p_small = parse_container(laptop_blob)
+assert np.array_equal(p_full.words(master), p_small.words(laptop_blob))
 print(
     "\npayload words identical across served variations — only metadata "
     "changes (Recoil §3.3)"
 )
+
+m = service.metrics_snapshot()
+print(
+    f"service: {m['requests']['completed']} decodes in "
+    f"{m['batches']['dispatched']} fused batches (largest "
+    f"{m['batches']['largest_requests']} requests); shrink cache "
+    f"{m['shrink']['cache_hits']} hits / {m['shrink']['cache_misses']} "
+    "misses"
+)
+service.close()

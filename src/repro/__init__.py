@@ -14,6 +14,9 @@ Arunruangsirilert, Sun, and Katto.  The package provides:
   self-synchronizing massively parallel decoder baseline.
 - :mod:`repro.parallel` — numpy SIMD lane engine, executors, and the
   analytical device cost model used to project CPU/GPU throughput.
+- :mod:`repro.serve` — batched content-delivery service: encode-once
+  asset store, LRU shrink cache, and cross-request fusion of
+  concurrent decodes into single wide-lane kernel dispatches.
 - :mod:`repro.data` — dataset generators mirroring the paper's
   evaluation corpora.
 - :mod:`repro.experiments` — one module per paper table and figure.
@@ -34,6 +37,7 @@ from repro.core.api import (
     RecoilCodec,
     recoil_compress,
     recoil_decompress,
+    recoil_service,
     recoil_shrink,
 )
 from repro.rans.model import SymbolModel
@@ -44,6 +48,7 @@ __all__ = [
     "RecoilCodec",
     "recoil_compress",
     "recoil_decompress",
+    "recoil_service",
     "recoil_shrink",
     "SymbolModel",
     "InterleavedEncoder",

@@ -246,9 +246,7 @@ class ConventionalCodec:
     ) -> tuple[np.ndarray, EngineStats, WorkloadSummary]:
         """Decode all partitions in one batched engine run."""
         tasks = self.build_tasks(encoded)
-        a = self.provider.alphabet_size
-        dtype = np.uint8 if a <= 256 else (np.uint16 if a <= 65536 else np.uint32)
-        out = np.empty(encoded.num_symbols, dtype=dtype)
+        out = np.empty(encoded.num_symbols, dtype=self.provider.out_dtype)
         stats = self._engine.run(encoded.words, tasks, out)
         return out, stats, summarize_tasks(tasks)
 

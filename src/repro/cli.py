@@ -5,7 +5,8 @@ Subcommands mirror the content-delivery workflow:
 - ``recoil compress IN OUT --splits 2176 --quant 11``
 - ``recoil shrink IN OUT --threads 16``  (per-request serving step)
 - ``recoil decompress IN OUT [--max-parallelism 8]``
-- ``recoil info IN``  (container inspection)
+- ``recoil info IN [--json]``  (container inspection)
+- ``recoil serve-bench``  (batched content-delivery throughput)
 
 Only static-model containers are supported from the CLI (adaptive
 model banks are API-level constructs carried by a host format).
@@ -14,6 +15,7 @@ model banks are API-level constructs carried by a host format).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 import numpy as np
@@ -71,6 +73,22 @@ def _cmd_info(args) -> int:
     blob = open(args.input, "rb").read()
     parsed = parse_container(blob, require_model=False)
     md = parsed.metadata
+    if args.json:
+        stats = {
+            "container_bytes": len(blob),
+            "symbols": parsed.num_symbols,
+            "payload_bytes": 2 * parsed.num_words,
+            "payload_words": parsed.num_words,
+            "lanes": parsed.lanes,
+            "quant_bits": parsed.quant_bits,
+            "decoder_threads": md.num_threads,
+            "splits": len(md.entries),
+            "metadata_bytes": metadata_size_bytes(md),
+            "header_bytes": parsed.header_bytes,
+            "sync_overhead_symbols": md.sync_overhead_symbols(),
+        }
+        print(json.dumps(stats, indent=2))
+        return 0
     print(f"container:        {len(blob):,} bytes")
     print(f"symbols:          {parsed.num_symbols:,}")
     print(f"payload:          {2 * parsed.num_words:,} bytes "
@@ -86,6 +104,21 @@ def _cmd_info(args) -> int:
             f"({100 * sync / max(parsed.num_symbols, 1):.3f}% decode "
             "overhead)"
         )
+    return 0
+
+
+def _cmd_serve_bench(args) -> int:
+    from repro.serve.bench import render_table, run_serve_bench
+
+    result = run_serve_bench(
+        symbols=args.symbols,
+        clients=tuple(args.clients),
+        repeats=args.repeats,
+    )
+    if args.json:
+        print(json.dumps(result, indent=2))
+    else:
+        print(render_table(result))
     return 0
 
 
@@ -125,7 +158,23 @@ def build_parser() -> argparse.ArgumentParser:
 
     i = sub.add_parser("info", help="inspect a container")
     i.add_argument("input")
+    i.add_argument("--json", action="store_true",
+                   help="emit machine-readable container stats")
     i.set_defaults(func=_cmd_info)
+
+    b = sub.add_parser(
+        "serve-bench",
+        help="benchmark the batched content-delivery service",
+    )
+    b.add_argument("--symbols", type=int, default=200_000,
+                   help="asset size in symbols")
+    b.add_argument("--clients", type=int, nargs="+", default=[1, 8, 64],
+                   help="concurrent-client counts to sweep")
+    b.add_argument("--repeats", type=int, default=2,
+                   help="best-of repeat count per measurement")
+    b.add_argument("--json", action="store_true",
+                   help="emit the full result as JSON")
+    b.set_defaults(func=_cmd_serve_bench)
     return parser
 
 

@@ -10,6 +10,7 @@ from repro.core.api import (
     RecoilCodec,
     recoil_compress,
     recoil_decompress,
+    recoil_service,
     recoil_shrink,
 )
 from repro.core.container import (
@@ -42,6 +43,7 @@ __all__ = [
     "RecoilCodec",
     "recoil_compress",
     "recoil_decompress",
+    "recoil_service",
     "recoil_shrink",
     "RecoilEncoder",
     "RecoilEncoded",

@@ -48,6 +48,10 @@ class RecoilCodec:
 
     def encode(self, data: np.ndarray, num_splits: int) -> RecoilEncoded:
         """Encode with up to ``num_splits`` parallel decode segments."""
+        if num_splits < 1:
+            raise EncodeError(
+                f"num_splits must be >= 1, got {num_splits}"
+            )
         return self._encoder.encode(data, num_splits)
 
     def compress(self, data: np.ndarray, num_splits: int) -> bytes:
@@ -140,3 +144,31 @@ def recoil_decompress(
 def recoil_shrink(blob: bytes, target_threads: int) -> bytes:
     """Combine splits in a container without re-encoding (§3.3)."""
     return shrink_container(blob, target_threads)
+
+
+def recoil_service(
+    assets: dict[str, np.ndarray] | None = None,
+    num_splits: int = 1024,
+    config=None,
+):
+    """Build a batched content-delivery service (:mod:`repro.serve`).
+
+    The system-level counterpart of the three verbs above: assets are
+    compressed once at ``num_splits`` parallelism, ``serve`` answers
+    per-client shrinks from an LRU cache, and concurrent
+    ``decompress`` requests are fused into single wide-lane kernel
+    dispatches.  ``config`` is a
+    :class:`repro.serve.ServiceConfig`; the returned
+    :class:`repro.serve.RecoilService` is a context manager — close it
+    to stop the dispatcher thread.
+    """
+    from repro.serve import RecoilService
+
+    service = RecoilService(config=config)
+    try:
+        for name, data in (assets or {}).items():
+            service.put_asset(name, data, num_splits=num_splits)
+    except BaseException:
+        service.close()
+        raise
+    return service

@@ -30,7 +30,7 @@ from repro.bitio.varint import decode_uvarint, encode_uvarint
 from repro.core.encoder import RecoilEncoded
 from repro.core.metadata import RecoilMetadata
 from repro.core.serialization import parse_metadata, serialize_metadata
-from repro.errors import ContainerError
+from repro.errors import ContainerError, MetadataError
 from repro.rans.adaptive import AdaptiveModelProvider, StaticModelProvider
 from repro.rans.model import SymbolModel
 
@@ -172,6 +172,10 @@ def shrink_container(blob: bytes, target_threads: int) -> bytes:
     through untouched.  This is the operation a content server runs
     per request, keyed by the client's advertised parallel capacity.
     """
+    if target_threads < 1:
+        raise MetadataError(
+            f"target_threads must be >= 1, got {target_threads}"
+        )
     parsed = parse_container(blob, require_model=False)
     combined = parsed.metadata.combine(target_threads)
     md_old = serialize_metadata(parsed.metadata)

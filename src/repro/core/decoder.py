@@ -113,12 +113,7 @@ class RecoilDecoder:
         self._engine = LaneEngine(provider, lanes)
 
     def _out_dtype(self):
-        a = self.provider.alphabet_size
-        if a <= 256:
-            return np.uint8
-        if a <= 65536:
-            return np.uint16
-        return np.uint32
+        return self.provider.out_dtype
 
     def decode(
         self,

@@ -40,3 +40,14 @@ class ContainerError(ReproError):
 class ParallelismError(ReproError):
     """Invalid parallel-execution request (zero workers, more workers
     than splits where forbidden, ...)."""
+
+
+class ServeError(ReproError):
+    """Content-delivery service failure (unknown asset, request
+    against a closed service, duplicate asset name, ...)."""
+
+
+class AdmissionError(ServeError):
+    """A request was refused by the service's admission control: the
+    in-flight work bound stayed saturated past the admission
+    timeout (backpressure)."""

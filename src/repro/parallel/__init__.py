@@ -8,7 +8,8 @@
 - :mod:`repro.parallel.fused` — the fused wide-lane decode kernel
   (DESIGN.md §8): one flat state vector across all partitions, an
   analytically-planned steady-state fast path, zero per-iteration
-  allocation.
+  allocation; ``fused_run_multi`` extends it to tasks spanning
+  multiple word buffers (cross-request fusion, DESIGN.md §12).
 - :mod:`repro.parallel.fused_encode` — the encode-side twin
   (DESIGN.md §10): blocked trajectory staging, in-kernel split-event
   recording, independent encodes fused into one wide state vector.
@@ -23,6 +24,11 @@
 """
 
 from repro.parallel.buffers import ScratchArena
+from repro.parallel.fused import (
+    MultiRunResult,
+    StreamSegment,
+    fused_run_multi,
+)
 from repro.parallel.simd import LaneEngine, ThreadTask, EngineStats
 from repro.parallel.costmodel import (
     DeviceProfile,
@@ -34,9 +40,12 @@ from repro.parallel.workload import WorkloadSummary, summarize_tasks
 
 __all__ = [
     "LaneEngine",
+    "MultiRunResult",
     "ScratchArena",
+    "StreamSegment",
     "ThreadTask",
     "EngineStats",
+    "fused_run_multi",
     "DeviceProfile",
     "assign_tasks",
     "estimate_task_symbols",

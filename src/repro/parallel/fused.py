@@ -34,6 +34,8 @@ phase checks.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field, replace
+
 import numpy as np
 
 from repro.errors import DecodeError
@@ -406,3 +408,130 @@ def fused_run(
                 f"task {ti}: lanes did not return to the initial state L"
             )
     return stats
+
+
+# ---------------------------------------------------------------------------
+# Multi-buffer fusion: tasks spanning several independent word streams.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class StreamSegment:
+    """One independent decode joining a fused multi-buffer run.
+
+    A segment is exactly the argument triple of :func:`fused_run` —
+    a word stream, the tasks walking it, and the output length — for
+    one logical request.  :func:`fused_run_multi` concatenates many
+    segments into a single virtual stream/output so their tasks
+    advance together in one ``(sum(T_i) * K,)``-wide kernel call
+    (DESIGN.md §12: cross-request fusion).
+    """
+
+    words: np.ndarray
+    tasks: list[ThreadTask] = field(repr=False)
+    num_symbols: int
+
+    @property
+    def lane_count(self) -> int:
+        """Task-lanes this segment contributes to a fused batch."""
+        return len(self.tasks)
+
+
+@dataclass
+class MultiRunResult:
+    """Output of :func:`fused_run_multi`."""
+
+    out: np.ndarray  # one flat output covering every segment
+    slices: list[slice]  # per-segment views into ``out``
+    stats: EngineStats
+
+    def segment_outputs(self) -> list[np.ndarray]:
+        return [self.out[s] for s in self.slices]
+
+
+def fuse_segments(
+    segments: list[StreamSegment],
+) -> tuple[np.ndarray, list[ThreadTask], list[slice], int]:
+    """Rebase many segments onto one concatenated stream and output.
+
+    Word streams are stacked back to back and every task's stream
+    positions (``start_pos``, ``terminal_pos``) shift by its segment's
+    word base; output positions shift via ``global_offset``.  Local
+    walk/commit indices and activation entries are untouched — the
+    walk is defined in task-local coordinates (DESIGN.md §7), so a
+    rebased task is indistinguishable from a native one.
+
+    Segments sharing one word-buffer *object* (the dominant serving
+    case: many concurrent requests for the same asset) share one copy
+    in the concatenation — their tasks simply rebase onto the same
+    word base, like multiple tasks of a single stream.
+
+    Returns ``(words, tasks, out_slices, total_symbols)``.
+    """
+    word_arrays: list[np.ndarray] = []
+    word_bases: dict[int, int] = {}  # id(words) -> assigned base
+    fused_tasks: list[ThreadTask] = []
+    out_slices: list[slice] = []
+    next_base = 0
+    sym_base = 0
+    for seg in segments:
+        word_base = word_bases.get(id(seg.words))
+        if word_base is None:
+            w = np.asarray(seg.words, dtype=np.uint16)
+            word_arrays.append(w)
+            word_bases[id(seg.words)] = word_base = next_base
+            next_base += len(w)
+        for t in seg.tasks:
+            fused_tasks.append(
+                replace(
+                    t,
+                    start_pos=t.start_pos + word_base,
+                    global_offset=t.global_offset + sym_base,
+                    terminal_pos=t.terminal_pos + word_base,
+                )
+            )
+        out_slices.append(slice(sym_base, sym_base + seg.num_symbols))
+        sym_base += seg.num_symbols
+    if word_arrays:
+        words = np.concatenate(word_arrays)
+    else:
+        words = np.empty(0, dtype=np.uint16)
+    return words, fused_tasks, out_slices, sym_base
+
+
+def fused_run_multi(
+    provider: AdaptiveModelProvider,
+    lanes: int,
+    segments: list[StreamSegment],
+    arena: ScratchArena,
+    out_dtype=None,
+) -> MultiRunResult:
+    """Decode many independent (words, tasks) segments as ONE kernel run.
+
+    This is the serving-side payoff of the fused layout: ``S``
+    requests of ``T_i`` tasks each become a single ``(sum(T_i), K)``
+    state matrix, so per-iteration interpreter overhead is paid once
+    per *batch* instead of once per request.  All segments must share
+    ``provider`` and ``lanes``; multi-segment fusion requires a
+    *static* provider (adaptive model ids are positional in the
+    original sequence and do not survive output rebasing — dispatch
+    those one segment at a time).
+
+    Stream-underflow detection is per concatenated stream: a corrupt
+    segment that under-reads past its own region is caught by the
+    terminal drain (``terminal_pos`` check) rather than immediately at
+    the read, exactly like a corrupt task inside a single stream.
+    """
+    if len(segments) > 1 and not provider.is_static:
+        raise DecodeError(
+            "multi-segment fusion requires a static model provider; "
+            "adaptive-model decodes must be dispatched individually"
+        )
+    words, tasks, out_slices, total_symbols = fuse_segments(segments)
+    if out_dtype is None:
+        out_dtype = provider.out_dtype
+    # Results escape to callers, so the output is a fresh allocation
+    # (arena rule 2, DESIGN.md §9); segment views share this buffer.
+    out = np.empty(total_symbols, dtype=out_dtype)
+    stats = fused_run(provider, lanes, words, tasks, out, arena)
+    return MultiRunResult(out=out, slices=out_slices, stats=stats)

@@ -133,6 +133,16 @@ class AdaptiveModelProvider:
         return len(self._models)
 
     @property
+    def out_dtype(self) -> np.dtype:
+        """Narrowest unsigned dtype covering the alphabet — the one
+        policy for decoded-output arrays, shared by every decode
+        surface (core decoder, Conventional baseline, serving)."""
+        a = self.alphabet_size
+        return np.dtype(
+            np.uint8 if a <= 256 else np.uint16 if a <= 65536 else np.uint32
+        )
+
+    @property
     def models(self) -> list[SymbolModel]:
         return self._models
 

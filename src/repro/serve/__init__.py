@@ -1,0 +1,40 @@
+"""Batched content delivery: the paper's serving scenario as a system.
+
+The paper's headline use case (§1, §3.3) is a content-delivery server
+that encodes an asset *once* and serves every client class by
+real-time metadata shrinking.  This package turns that from a script
+into a subsystem:
+
+- :mod:`repro.serve.store` — encode-once asset store with an LRU
+  shrink cache keyed ``(asset, client_capacity)``;
+- :mod:`repro.serve.batcher` — request batching policy: concurrent
+  decompress requests fuse into ONE wide-lane kernel call
+  (cross-request fusion over the `(P*K,)` layout, DESIGN.md §12);
+- :mod:`repro.serve.service` — the :class:`RecoilService` facade:
+  dispatcher thread, admission control/backpressure bounded by cost
+  model estimates;
+- :mod:`repro.serve.metrics` — per-request and per-batch counters.
+"""
+
+from repro.serve.batcher import BatchPolicy, DecodeRequest, RequestBatcher
+from repro.serve.metrics import ServeMetrics
+from repro.serve.service import RecoilService, ServiceConfig
+from repro.serve.store import (
+    AssetStore,
+    ShrinkCache,
+    ShrunkVariant,
+    StoredAsset,
+)
+
+__all__ = [
+    "AssetStore",
+    "BatchPolicy",
+    "DecodeRequest",
+    "RecoilService",
+    "RequestBatcher",
+    "ServeMetrics",
+    "ServiceConfig",
+    "ShrinkCache",
+    "ShrunkVariant",
+    "StoredAsset",
+]

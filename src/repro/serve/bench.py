@@ -1,0 +1,142 @@
+"""Serving benchmark harness: batched vs. unbatched delivery.
+
+Measures end-to-end multi-client decode throughput of the
+content-delivery service at several concurrency levels, against the
+pre-subsystem baseline — serving each request one at a time through
+:func:`repro.core.recoil_decompress` (fresh container parse, fresh
+decoder, solo kernel per request), exactly what the old
+``examples/content_delivery.py`` loop did.
+
+Every batched response is verified bit-identical to the
+``recoil_decompress`` reference before any timing is recorded.
+
+Both ``recoil serve-bench`` and ``benchmarks/bench_serve.py`` (which
+emits ``BENCH_serve.json``, the number CI gates on) call
+:func:`run_serve_bench`.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.api import recoil_decompress
+from repro.data import text_surrogate
+from repro.serve.service import RecoilService, ServiceConfig
+
+#: client classes cycled across concurrent requests (advertised
+#: decoder capacities, as in the paper's content-delivery scenario).
+DEFAULT_CAPACITIES = (1, 4, 16)
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_serve_bench(
+    symbols: int = 200_000,
+    clients: tuple[int, ...] = (1, 8, 64),
+    capacities: tuple[int, ...] = DEFAULT_CAPACITIES,
+    num_splits: int = 256,
+    repeats: int = 2,
+    seed: int = 11,
+) -> dict:
+    """Benchmark batched vs. unbatched serving; returns a JSON-able dict.
+
+    For each concurrency level ``C`` the same ``C`` requests (client
+    capacities cycling through ``capacities``) are timed two ways:
+
+    - ``unbatched``: one at a time via ``recoil_decompress`` on the
+      served (shrunk) container bytes;
+    - ``batched``: submitted concurrently to a :class:`RecoilService`
+      and fused by the request batcher into wide-lane kernel calls.
+    """
+    data = text_surrogate(symbols, target_entropy=5.29, seed=seed)
+    out_bytes = data.nbytes
+
+    results: dict[str, dict] = {}
+    with RecoilService(config=ServiceConfig()) as service:
+        service.put_asset("asset", data, num_splits=num_splits)
+        served = {c: service.serve("asset", c) for c in set(capacities)}
+
+        # Correctness first: every served variant and every batched
+        # response must equal the reference decode.
+        reference = recoil_decompress(served[capacities[0]])
+        if not np.array_equal(reference, data):
+            raise AssertionError("reference decode mismatch")
+        probe_caps = [c for c in capacities for _ in range(2)]
+        probes = [service.submit("asset", c) for c in probe_caps]
+        for cap, probe in zip(probe_caps, probes):
+            if not np.array_equal(probe.result(300), reference):
+                raise AssertionError(
+                    f"batched decode mismatch at capacity {cap}"
+                )
+
+        for num_clients in clients:
+            caps = [
+                capacities[i % len(capacities)] for i in range(num_clients)
+            ]
+
+            def unbatched() -> None:
+                for c in caps:
+                    recoil_decompress(served[c])
+
+            def batched() -> None:
+                requests = [service.submit("asset", c) for c in caps]
+                for request in requests:
+                    request.result(600)
+
+            t_unbatched = _best_of(unbatched, repeats)
+            t_batched = _best_of(batched, repeats)
+            total = num_clients * out_bytes
+            results[str(num_clients)] = {
+                "unbatched_s": round(t_unbatched, 4),
+                "batched_s": round(t_batched, 4),
+                "unbatched_mb_s": round(total / t_unbatched / 1e6, 2),
+                "batched_mb_s": round(total / t_batched / 1e6, 2),
+                "speedup": round(t_unbatched / t_batched, 3),
+            }
+
+        snapshot = service.metrics_snapshot()
+
+    max_clients = str(max(clients))
+    return {
+        "workload": {
+            "dataset": "enwik8-surrogate",
+            "symbols": symbols,
+            "num_splits": num_splits,
+            "client_capacities": list(capacities),
+            "repeats": repeats,
+        },
+        "clients": results,
+        "speedup_batched_vs_unbatched_max_clients": results[max_clients][
+            "speedup"
+        ],
+        "service_metrics": snapshot,
+    }
+
+
+def render_table(result: dict) -> str:
+    """Human-readable summary of a :func:`run_serve_bench` result."""
+    lines = [
+        f"{'clients':>8} {'unbatched MB/s':>15} {'batched MB/s':>13} "
+        f"{'speedup':>8}"
+    ]
+    for clients, row in result["clients"].items():
+        lines.append(
+            f"{clients:>8} {row['unbatched_mb_s']:>15.2f} "
+            f"{row['batched_mb_s']:>13.2f} {row['speedup']:>7.2f}x"
+        )
+    m = result["service_metrics"]
+    lines.append(
+        f"batches: {m['batches']['dispatched']}, largest "
+        f"{m['batches']['largest_requests']} requests; shrink-cache "
+        f"hit rate {m['shrink']['hit_rate']:.0%}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,142 @@
+"""Serving metrics: per-request and per-batch counters.
+
+One :class:`ServeMetrics` instance is owned by a
+:class:`~repro.serve.service.RecoilService` and updated from both the
+client threads (request lifecycle, admission waits) and the dispatcher
+thread (batch execution), so every mutation is lock-protected.  The
+benchmarks (``benchmarks/bench_serve.py``) and ``recoil serve-bench``
+read :meth:`snapshot` — a plain dict, safe to serialize.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class ServeMetrics:
+    """Thread-safe counters for one service instance."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        # -- request lifecycle -----------------------------------------
+        self.requests_submitted = 0
+        self.requests_completed = 0
+        self.requests_failed = 0
+        self.request_latency_total_s = 0.0
+        self.request_latency_max_s = 0.0
+        # -- admission / backpressure ----------------------------------
+        self.admission_waits = 0  # requests that had to block
+        self.admission_rejected = 0  # timed out waiting (AdmissionError)
+        self.peak_inflight_symbols = 0
+        # -- batching --------------------------------------------------
+        self.batches_dispatched = 0
+        self.batched_requests = 0  # requests that shared a batch (size >= 2)
+        self.largest_batch_requests = 0
+        self.fused_tasks_total = 0
+        self.symbols_decoded = 0
+        self.kernel_seconds = 0.0
+        # -- serving (shrink) ------------------------------------------
+        self.shrink_cache_hits = 0
+        self.shrink_cache_misses = 0
+        self.bytes_served = 0
+
+    # ------------------------------------------------------------------
+
+    def record_submit(self) -> None:
+        with self._lock:
+            self.requests_submitted += 1
+
+    def record_admission_wait(self) -> None:
+        with self._lock:
+            self.admission_waits += 1
+
+    def record_admission_rejected(self) -> None:
+        with self._lock:
+            self.admission_rejected += 1
+
+    def record_inflight(self, inflight_symbols: int) -> None:
+        with self._lock:
+            if inflight_symbols > self.peak_inflight_symbols:
+                self.peak_inflight_symbols = inflight_symbols
+
+    def record_completion(self, latency_s: float, ok: bool) -> None:
+        with self._lock:
+            if ok:
+                self.requests_completed += 1
+            else:
+                self.requests_failed += 1
+            self.request_latency_total_s += latency_s
+            if latency_s > self.request_latency_max_s:
+                self.request_latency_max_s = latency_s
+
+    def record_batch(
+        self,
+        num_requests: int,
+        num_tasks: int,
+        symbols: int,
+        seconds: float,
+    ) -> None:
+        with self._lock:
+            self.batches_dispatched += 1
+            if num_requests >= 2:
+                self.batched_requests += num_requests
+            if num_requests > self.largest_batch_requests:
+                self.largest_batch_requests = num_requests
+            self.fused_tasks_total += num_tasks
+            self.symbols_decoded += symbols
+            self.kernel_seconds += seconds
+
+    def record_shrink(self, nbytes: int, cache_hit: bool) -> None:
+        with self._lock:
+            if cache_hit:
+                self.shrink_cache_hits += 1
+            else:
+                self.shrink_cache_misses += 1
+            self.bytes_served += nbytes
+
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A consistent point-in-time view (plain dict, derived means
+        included)."""
+        with self._lock:
+            done = self.requests_completed + self.requests_failed
+            shrinks = self.shrink_cache_hits + self.shrink_cache_misses
+            return {
+                "requests": {
+                    "submitted": self.requests_submitted,
+                    "completed": self.requests_completed,
+                    "failed": self.requests_failed,
+                    "mean_latency_s": (
+                        self.request_latency_total_s / done if done else 0.0
+                    ),
+                    "max_latency_s": self.request_latency_max_s,
+                },
+                "admission": {
+                    "waits": self.admission_waits,
+                    "rejected": self.admission_rejected,
+                    "peak_inflight_symbols": self.peak_inflight_symbols,
+                },
+                "batches": {
+                    "dispatched": self.batches_dispatched,
+                    "batched_requests": self.batched_requests,
+                    "largest_requests": self.largest_batch_requests,
+                    "mean_requests": (
+                        (self.requests_completed + self.requests_failed)
+                        / self.batches_dispatched
+                        if self.batches_dispatched
+                        else 0.0
+                    ),
+                    "fused_tasks": self.fused_tasks_total,
+                    "symbols_decoded": self.symbols_decoded,
+                    "kernel_seconds": self.kernel_seconds,
+                },
+                "shrink": {
+                    "cache_hits": self.shrink_cache_hits,
+                    "cache_misses": self.shrink_cache_misses,
+                    "hit_rate": (
+                        self.shrink_cache_hits / shrinks if shrinks else 0.0
+                    ),
+                    "bytes_served": self.bytes_served,
+                },
+            }

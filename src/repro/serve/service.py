@@ -1,0 +1,284 @@
+"""`RecoilService`: in-process batched content-delivery service.
+
+The subsystem's facade, tying together the serving pipeline of
+DESIGN.md §12:
+
+1. **Store** (:mod:`repro.serve.store`): assets are encoded once at
+   maximum parallelism; per-request metadata shrinking is answered
+   from an LRU cache keyed ``(asset, client_capacity)``.
+2. **Batcher** (:mod:`repro.serve.batcher`): concurrent decompress
+   requests collected over a short window (or until the lane budget
+   fills) dispatch as ONE fused multi-task kernel call — cross-request
+   fusion over the `(P*K,)` wide-lane layout of PRs 1–2.
+3. **Admission** (backpressure): in-flight work is bounded by the cost
+   model's walked-symbol estimates; submitters block (up to a
+   timeout) when the bound is saturated, so a burst cannot queue
+   unbounded kernel work.
+
+Clients are threads in the same process: ``decompress`` blocks for the
+result, ``submit`` returns a request handle for async use.  A single
+dispatcher thread owns the kernel-side scratch arena (arena rule 1,
+DESIGN.md §9) and executes batches serially — the fused kernel is
+already the width-optimal way to spend one core's time, and numpy
+releases the GIL inside the wide ops, so client threads keep running.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AdmissionError, ServeError
+from repro.parallel.buffers import ScratchArena
+from repro.parallel.fused import fused_run_multi
+from repro.rans.model import SymbolModel
+from repro.serve.batcher import BatchPolicy, DecodeRequest, RequestBatcher
+from repro.serve.metrics import ServeMetrics
+from repro.serve.store import AssetStore, StoredAsset
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of one service instance (see DESIGN.md §12)."""
+
+    #: how long the oldest pending request may wait for companions.
+    batch_window_s: float = 0.002
+    #: hard cap on requests fused into one kernel call.
+    max_batch_requests: int = 64
+    #: lane budget: max total decoder tasks per fused call.
+    max_batch_task_lanes: int = 512
+    #: admission bound on in-flight estimated walked symbols.
+    max_inflight_symbols: int = 32_000_000
+    #: how long a submitter may block on admission before
+    #: :class:`~repro.errors.AdmissionError`.
+    admission_timeout_s: float = 30.0
+    #: disable cross-request fusion (one request per kernel call, in
+    #: arrival order) — the benchmark baseline.
+    batching: bool = True
+    #: LRU capacity of the shrink cache (entries).
+    shrink_cache_entries: int = 256
+
+    def batch_policy(self) -> BatchPolicy:
+        if not self.batching:
+            return BatchPolicy(window_s=0.0, max_requests=1)
+        return BatchPolicy(
+            window_s=self.batch_window_s,
+            max_requests=self.max_batch_requests,
+            max_task_lanes=self.max_batch_task_lanes,
+        )
+
+
+class RecoilService:
+    """Batched content-delivery service over an :class:`AssetStore`."""
+
+    def __init__(
+        self,
+        store: AssetStore | None = None,
+        config: ServiceConfig | None = None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.store = store or AssetStore(
+            shrink_cache_entries=self.config.shrink_cache_entries
+        )
+        self.metrics = ServeMetrics()
+        self._cond = threading.Condition()
+        self._batcher = RequestBatcher(self.config.batch_policy())
+        self._inflight_symbols = 0
+        self._running = True
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop,
+            name="recoil-serve-dispatch",
+            daemon=True,
+        )
+        self._dispatcher.start()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def __enter__(self) -> "RecoilService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Stop accepting requests and fail anything still pending."""
+        with self._cond:
+            if not self._running:
+                return
+            self._running = False
+            self._cond.notify_all()
+        self._dispatcher.join()
+        with self._cond:
+            leftovers = self._batcher.drain()
+            self._inflight_symbols = 0
+            self._cond.notify_all()
+        for req in leftovers:
+            req.set_error(ServeError("service closed"))
+            self.metrics.record_completion(req.latency_s, ok=False)
+
+    @property
+    def closed(self) -> bool:
+        return not self._running
+
+    # -- ingest --------------------------------------------------------
+
+    def put_asset(
+        self,
+        name: str,
+        data: np.ndarray,
+        num_splits: int | None = None,
+        quant_bits: int | None = None,
+        model: SymbolModel | None = None,
+    ) -> StoredAsset:
+        """Encode ``data`` once (at max parallelism) and store it."""
+        return self.store.put(
+            name,
+            data,
+            num_splits=num_splits,
+            quant_bits=quant_bits,
+            model=model,
+        )
+
+    def put_container(self, name: str, blob: bytes, provider=None):
+        return self.store.put_container(name, blob, provider=provider)
+
+    # -- serving (bytes on the wire) -----------------------------------
+
+    def serve(self, name: str, capacity: int) -> bytes:
+        """Container bytes shrunk to ``capacity`` (the per-request
+        real-time operation of §3.3; cached)."""
+        variant, hit = self.store.shrunk(name, capacity)
+        self.metrics.record_shrink(len(variant.blob), cache_hit=hit)
+        return variant.blob
+
+    # -- decoding ------------------------------------------------------
+
+    def submit(self, name: str, capacity: int) -> DecodeRequest:
+        """Enqueue a decompress request; returns a waitable handle.
+
+        Blocks (backpressure) while the in-flight work bound is
+        saturated; raises :class:`AdmissionError` after the admission
+        timeout.
+        """
+        if not self._running:
+            raise ServeError("service closed")
+        variant, hit = self.store.shrunk(name, capacity)
+        self.metrics.record_shrink(len(variant.blob), cache_hit=hit)
+        # variant.asset, not a second store.get(): a concurrent put()
+        # replacing the name must not pair old tasks with new words.
+        request = DecodeRequest(variant.asset, variant)
+
+        cost = request.cost_symbols
+        deadline = time.perf_counter() + self.config.admission_timeout_s
+        with self._cond:
+            waited = False
+            while (
+                self._running
+                and self._inflight_symbols > 0
+                and self._inflight_symbols + cost
+                > self.config.max_inflight_symbols
+            ):
+                if not waited:
+                    waited = True
+                    self.metrics.record_admission_wait()
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0 or not self._cond.wait(remaining):
+                    self.metrics.record_admission_rejected()
+                    raise AdmissionError(
+                        f"admission timed out after "
+                        f"{self.config.admission_timeout_s:.3g}s "
+                        f"({self._inflight_symbols:,} symbols in flight, "
+                        f"bound {self.config.max_inflight_symbols:,})"
+                    )
+            if not self._running:
+                raise ServeError("service closed")
+            self._inflight_symbols += cost
+            self.metrics.record_inflight(self._inflight_symbols)
+            self._batcher.add(request)
+            # Counted only once enqueued, so submitted always
+            # reconciles with completed + failed.
+            self.metrics.record_submit()
+            self._cond.notify_all()
+        return request
+
+    def decompress(
+        self, name: str, capacity: int, timeout: float | None = None
+    ) -> np.ndarray:
+        """Decode asset ``name`` as a ``capacity``-thread client would,
+        through the batched service path."""
+        return self.submit(name, capacity).result(timeout)
+
+    def metrics_snapshot(self) -> dict:
+        snap = self.metrics.snapshot()
+        snap["store"] = {
+            "assets": len(self.store),
+            "shrink_cache_entries": len(self.store.cache),
+            "shrink_cache_evictions": self.store.cache.evictions,
+        }
+        return snap
+
+    # -- dispatcher ----------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        # The dispatcher owns the kernel scratch arena: one thread,
+        # one arena (DESIGN.md §9 rule 1).
+        arena = ScratchArena()
+        while True:
+            with self._cond:
+                while self._running and not len(self._batcher):
+                    self._cond.wait()
+                # Hold the batch open until the window closes or the
+                # lane budget fills; new arrivals notify.
+                while (
+                    self._running
+                    and len(self._batcher)
+                    and not self._batcher.ready()
+                ):
+                    pause = self._batcher.deadline() - time.perf_counter()
+                    if pause > 0:
+                        self._cond.wait(pause)
+                if not self._running:
+                    return
+                batch = self._batcher.pop_batch()
+            if batch:
+                self._execute(batch, arena)
+                with self._cond:
+                    for req in batch:
+                        self._inflight_symbols -= req.cost_symbols
+                    self._cond.notify_all()
+
+    def _execute(
+        self, batch: list[DecodeRequest], arena: ScratchArena
+    ) -> None:
+        first = batch[0].asset
+        t0 = time.perf_counter()
+        try:
+            result = fused_run_multi(
+                first.provider,
+                first.lanes,
+                [req.segment() for req in batch],
+                arena,
+                out_dtype=first.out_dtype,
+            )
+        except Exception as exc:  # fail the whole batch, keep serving
+            elapsed = time.perf_counter() - t0
+            for req in batch:
+                req.set_error(exc)
+                self.metrics.record_completion(req.latency_s, ok=False)
+            self.metrics.record_batch(
+                len(batch), sum(r.task_lanes for r in batch), 0, elapsed
+            )
+            return
+        elapsed = time.perf_counter() - t0
+        for req, symbols in zip(batch, result.segment_outputs()):
+            req.set_result(symbols)
+            self.metrics.record_completion(req.latency_s, ok=True)
+        self.metrics.record_batch(
+            len(batch),
+            result.stats.tasks,
+            result.stats.symbols_decoded,
+            elapsed,
+        )

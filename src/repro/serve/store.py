@@ -1,0 +1,280 @@
+"""Asset store: encode once, shrink per request, cache the shrinks.
+
+The paper's serving story (§1, §3.3) is *encode once at the maximum
+parallelism the server will ever support, then adapt per request by
+dropping metadata*.  The store realizes both halves:
+
+- :meth:`AssetStore.put` encodes an asset exactly once (at
+  ``num_splits`` parallelism) and keeps the parsed container alongside
+  the raw bytes, so serving never re-parses;
+- :meth:`AssetStore.shrunk` answers ``(asset, client_capacity)``
+  requests from an LRU :class:`ShrinkCache` — a repeated shrink for a
+  known client class costs one dict hit, and a miss costs only the
+  metadata combine + splice (the payload never moves).
+
+A cached :class:`ShrunkVariant` carries the servable container bytes
+*and* the prebuilt decoder thread tasks for that capacity, so the
+request batcher can go straight to the fused kernel.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.container import ParsedContainer, parse_container
+from repro.core.decoder import build_thread_tasks
+from repro.core.metadata import RecoilMetadata
+from repro.core.serialization import serialize_metadata
+from repro.errors import MetadataError, ServeError
+from repro.parallel.costmodel import estimate_task_symbols
+from repro.parallel.simd import ThreadTask
+from repro.rans.adaptive import AdaptiveModelProvider
+from repro.rans.constants import DEFAULT_LANES
+from repro.rans.model import SymbolModel
+
+
+@dataclass(frozen=True)
+class ShrunkVariant:
+    """One (asset, capacity) serving variant.
+
+    ``blob`` is what goes on the wire; ``tasks`` is what the decode
+    path feeds the fused kernel — both derived from the same combined
+    metadata, computed once and cached.  ``asset`` is the exact stored
+    asset the variant was derived from: consumers must pair the tasks
+    with *its* word stream (a later ``put`` may replace the name).
+    """
+
+    capacity: int
+    blob: bytes
+    metadata: RecoilMetadata
+    tasks: list[ThreadTask] = field(repr=False)
+    #: admission-control weight: total walked symbols of ``tasks``
+    #: (:func:`repro.parallel.costmodel.estimate_task_symbols`).
+    cost_symbols: int
+    asset: "StoredAsset" = field(repr=False, default=None)
+
+
+@dataclass
+class StoredAsset:
+    """A master container plus everything serving needs pre-derived."""
+
+    name: str
+    blob: bytes
+    parsed: ParsedContainer
+    provider: AdaptiveModelProvider
+    words: np.ndarray  # payload view over ``blob`` (zero-copy)
+    head: bytes  # container bytes before the metadata section
+    payload: bytes  # container bytes from the payload onward
+    out_dtype: np.dtype
+
+    @property
+    def num_symbols(self) -> int:
+        return self.parsed.num_symbols
+
+    @property
+    def lanes(self) -> int:
+        return self.parsed.lanes
+
+    @property
+    def max_capacity(self) -> int:
+        """Threads supported by the master metadata."""
+        return self.parsed.metadata.num_threads
+
+    def shrink(self, capacity: int) -> ShrunkVariant:
+        """Compute one serving variant (uncached; see
+        :meth:`AssetStore.shrunk`).
+
+        The blob is spliced, never re-encoded: master head + combined
+        metadata + identical payload (§3.3).
+        """
+        if capacity < 1:
+            raise MetadataError(
+                f"client capacity must be >= 1, got {capacity}"
+            )
+        md = self.parsed.metadata.combine(capacity)
+        blob = self.head + serialize_metadata(md) + self.payload
+        tasks = build_thread_tasks(
+            md, self.parsed.num_words, self.parsed.final_states
+        )
+        cost = sum(estimate_task_symbols(t) for t in tasks)
+        return ShrunkVariant(
+            capacity=capacity,
+            blob=blob,
+            metadata=md,
+            tasks=tasks,
+            cost_symbols=cost,
+            asset=self,
+        )
+
+
+class ShrinkCache:
+    """Thread-safe LRU of :class:`ShrunkVariant` keyed by
+    ``(asset_name, capacity)``."""
+
+    def __init__(self, max_entries: int = 256) -> None:
+        if max_entries < 1:
+            raise ServeError(
+                f"shrink cache needs >= 1 entry, got {max_entries}"
+            )
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[tuple[str, int], ShrunkVariant] = (
+            OrderedDict()
+        )
+        self.evictions = 0
+
+    def get(self, key: tuple[str, int]) -> ShrunkVariant | None:
+        with self._lock:
+            variant = self._entries.get(key)
+            if variant is not None:
+                self._entries.move_to_end(key)
+            return variant
+
+    def put(self, key: tuple[str, int], variant: ShrunkVariant) -> None:
+        with self._lock:
+            self._entries[key] = variant
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def invalidate(self, name: str) -> None:
+        with self._lock:
+            for key in [k for k in self._entries if k[0] == name]:
+                del self._entries[key]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+class AssetStore:
+    """Named compressed assets, encoded once, served many times."""
+
+    def __init__(
+        self,
+        shrink_cache_entries: int = 256,
+        default_num_splits: int = 1024,
+        default_quant_bits: int = 11,
+        lanes: int = DEFAULT_LANES,
+    ) -> None:
+        self.cache = ShrinkCache(shrink_cache_entries)
+        self.default_num_splits = default_num_splits
+        self.default_quant_bits = default_quant_bits
+        self.lanes = lanes
+        self._lock = threading.Lock()
+        self._assets: dict[str, StoredAsset] = {}
+
+    # -- ingest --------------------------------------------------------
+
+    def put(
+        self,
+        name: str,
+        data: np.ndarray,
+        num_splits: int | None = None,
+        quant_bits: int | None = None,
+        model: SymbolModel | None = None,
+    ) -> StoredAsset:
+        """Encode ``data`` once at maximum parallelism and store it."""
+        from repro.core.api import recoil_compress
+
+        blob = recoil_compress(
+            np.asarray(data),
+            num_splits=(
+                self.default_num_splits if num_splits is None else num_splits
+            ),
+            quant_bits=(
+                self.default_quant_bits if quant_bits is None else quant_bits
+            ),
+            model=model,
+            lanes=self.lanes,
+        )
+        return self.put_container(name, blob)
+
+    def put_container(
+        self,
+        name: str,
+        blob: bytes,
+        provider: AdaptiveModelProvider | None = None,
+    ) -> StoredAsset:
+        """Store an already-encoded container under ``name``."""
+        parsed = parse_container(blob, provider=provider)
+        md_len = len(serialize_metadata(parsed.metadata))
+        md_start = parsed.payload_offset - md_len
+        out_dtype = parsed.provider.out_dtype
+        asset = StoredAsset(
+            name=name,
+            blob=blob,
+            parsed=parsed,
+            provider=parsed.provider,
+            words=parsed.words(blob),
+            head=blob[:md_start],
+            payload=blob[parsed.payload_offset :],
+            out_dtype=out_dtype,
+        )
+        with self._lock:
+            replacing = name in self._assets
+            self._assets[name] = asset
+        if replacing:
+            self.cache.invalidate(name)
+        return asset
+
+    # -- lookup --------------------------------------------------------
+
+    def get(self, name: str) -> StoredAsset:
+        with self._lock:
+            try:
+                return self._assets[name]
+            except KeyError:
+                raise ServeError(f"unknown asset {name!r}") from None
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._assets)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._assets
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._assets)
+
+    # -- serving -------------------------------------------------------
+
+    def shrunk(
+        self, name: str, capacity: int
+    ) -> tuple[ShrunkVariant, bool]:
+        """The serving variant for ``(name, capacity)``.
+
+        Returns ``(variant, cache_hit)``.  Capacities above the
+        master's parallelism are clamped to it (combine is a no-op
+        there), so all "big client" capacities share one cache entry.
+        The returned variant pins the asset it was derived from
+        (``variant.asset``) — decode against *that*, not a fresh
+        ``get(name)``, or a concurrent ``put`` replacing the name can
+        pair old tasks with a new word stream.
+        """
+        if capacity < 1:
+            raise MetadataError(
+                f"client capacity must be >= 1, got {capacity}"
+            )
+        while True:
+            asset = self.get(name)
+            clamped = min(capacity, asset.max_capacity)
+            key = (name, clamped)
+            variant = self.cache.get(key)
+            if variant is not None and variant.asset is asset:
+                return variant, True
+            variant = asset.shrink(clamped)
+            self.cache.put(key, variant)
+            # A concurrent put() may have replaced the asset after our
+            # get(): its invalidation can race with the line above, so
+            # re-check and recompute rather than serve stale metadata.
+            if self.get(name) is asset:
+                return variant, False
+            self.cache.invalidate(name)

@@ -13,7 +13,7 @@ from repro import (
     recoil_shrink,
 )
 from repro.data import synthesize_latents
-from repro.errors import EncodeError
+from repro.errors import EncodeError, MetadataError, ReproError
 
 
 class TestFreeFunctions:
@@ -89,3 +89,28 @@ class TestCodecClass:
         for chunk in (skewed_bytes[:10_000], skewed_bytes[10_000:30_000]):
             blob = codec.compress(chunk, 8)
             assert np.array_equal(codec.decompress(blob), chunk)
+
+
+class TestArgumentValidation:
+    """Bad parallelism arguments fail fast with typed errors."""
+
+    @pytest.mark.parametrize("num_splits", [0, -1])
+    def test_encode_rejects_nonpositive_splits(
+        self, skewed_bytes, model11, num_splits
+    ):
+        codec = RecoilCodec(model11)
+        with pytest.raises(EncodeError):
+            codec.encode(skewed_bytes, num_splits)
+        with pytest.raises(ReproError):
+            codec.compress(skewed_bytes, num_splits)
+
+    @pytest.mark.parametrize("target", [0, -4])
+    def test_shrink_rejects_nonpositive_threads(
+        self, skewed_bytes, model11, target
+    ):
+        codec = RecoilCodec(model11)
+        blob = codec.compress(skewed_bytes[:5_000], 8)
+        with pytest.raises(MetadataError):
+            recoil_shrink(blob, target)
+        with pytest.raises(MetadataError):
+            codec.shrink(blob, target)

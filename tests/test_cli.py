@@ -59,6 +59,34 @@ class TestCli:
         assert "decoder threads:  16" in out
         assert "sync sections" in out
 
+    def test_info_json(self, tmp_path, sample_file, capsys):
+        import json
+
+        blob = tmp_path / "out.rcl"
+        main(["compress", str(sample_file), str(blob), "--splits", "16",
+              "--quant", "12"])
+        capsys.readouterr()
+        assert main(["info", str(blob), "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["container_bytes"] == blob.stat().st_size
+        assert stats["symbols"] == 20_000
+        assert stats["quant_bits"] == 12
+        assert stats["decoder_threads"] == 16
+        assert stats["splits"] == 15
+        assert stats["payload_bytes"] == 2 * stats["payload_words"]
+        assert 0 < stats["metadata_bytes"] < stats["container_bytes"]
+        assert stats["sync_overhead_symbols"] > 0
+
+    def test_serve_bench_smoke(self, capsys):
+        import json
+
+        assert main(["serve-bench", "--symbols", "6000",
+                     "--clients", "1", "2", "--repeats", "1",
+                     "--json"]) == 0
+        result = json.loads(capsys.readouterr().out)
+        assert set(result["clients"]) == {"1", "2"}
+        assert result["service_metrics"]["requests"]["failed"] == 0
+
     def test_missing_file(self, tmp_path, capsys):
         rc = main(["info", str(tmp_path / "nope.rcl")])
         assert rc == 2

@@ -109,6 +109,14 @@ class TestShrink:
         per_op = (time.perf_counter() - t0) / 20
         assert per_op < 0.05  # 50 ms is already generous
 
+    def test_shrink_validates_target_before_parsing(self):
+        from repro.errors import MetadataError
+
+        # The target check fires before the (possibly expensive or
+        # even impossible) container parse.
+        with pytest.raises(MetadataError):
+            shrink_container(b"definitely not a container", 0)
+
     def test_shrink_grow_is_noop(self, blob):
         same = shrink_container(blob, 10_000)
         assert parse_container(same).metadata.num_threads == 64

@@ -56,3 +56,39 @@ class TestPoolDecode:
                 provider11, 32, encoded.words, tasks,
                 encoded.num_symbols, np.uint8, 0,
             )
+
+    def test_negative_workers_rejected(self, encoded, tasks, provider11):
+        with pytest.raises(ParallelismError):
+            decode_with_pool(
+                provider11, 32, encoded.words, tasks,
+                encoded.num_symbols, np.uint8, -3,
+            )
+
+    @pytest.mark.parametrize("workers", [1, 3, 8])
+    def test_round_robin_strategy_roundtrip(
+        self, encoded, tasks, provider11, skewed_bytes, workers
+    ):
+        res = decode_with_pool(
+            provider11, 32, encoded.words, tasks,
+            encoded.num_symbols, np.uint8, workers,
+            strategy="round_robin",
+        )
+        assert np.array_equal(res.symbols, skewed_bytes)
+        assert res.workers == min(workers, len(tasks))
+
+    def test_round_robin_deals_cyclically(self, tasks):
+        from repro.parallel.costmodel import assign_tasks
+
+        buckets = assign_tasks(tasks, 3, strategy="round_robin")
+        assert [len(b) for b in buckets] == [
+            len(tasks[i::3]) for i in range(3)
+        ]
+        assert buckets[1][0] is tasks[1]
+
+    def test_unknown_strategy_rejected(self, encoded, tasks, provider11):
+        with pytest.raises(ValueError):
+            decode_with_pool(
+                provider11, 32, encoded.words, tasks,
+                encoded.num_symbols, np.uint8, 2,
+                strategy="alphabetical",
+            )
