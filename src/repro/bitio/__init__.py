@@ -6,7 +6,7 @@ and reader used for that, plus LEB128 varints for container headers.
 """
 
 from repro.bitio.bitwriter import BitWriter
-from repro.bitio.bitreader import BitReader
+from repro.bitio.bitreader import BitReader, gather_bits
 from repro.bitio.varint import (
     decode_uvarint,
     decode_varint,
@@ -19,6 +19,7 @@ from repro.bitio.varint import (
 __all__ = [
     "BitWriter",
     "BitReader",
+    "gather_bits",
     "encode_uvarint",
     "decode_uvarint",
     "encode_varint",

@@ -7,6 +7,52 @@ import numpy as np
 from repro.errors import DecodeError
 
 
+def gather_bits(
+    data: bytes | np.ndarray,
+    positions: np.ndarray,
+    widths: int | np.ndarray,
+) -> np.ndarray:
+    """Vectorized fixed-width reads at arbitrary bit positions.
+
+    The positional cousin of :meth:`BitReader.read_bits_array`: where
+    the reader unpacks *consecutive* equal-width fields, this gathers
+    a ``widths``-bit big-endian field starting at every (absolute) bit
+    offset in ``positions`` — the access pattern of record layouts
+    whose field offsets are computed up front.  ``positions`` and
+    ``widths`` broadcast against each other; widths up to 32 are
+    supported (7 skew bits + 32 payload bits fit the 40-bit windows
+    built per byte offset).  Returns int64 values in the broadcast
+    shape.
+    """
+    buf = np.frombuffer(bytes(data), dtype=np.uint8) if isinstance(
+        data, (bytes, bytearray, memoryview)
+    ) else np.asarray(data, dtype=np.uint8)
+    positions = np.asarray(positions, dtype=np.int64)
+    widths = np.asarray(widths, dtype=np.int64)
+    if positions.size == 0:
+        return np.zeros(
+            np.broadcast_shapes(positions.shape, widths.shape),
+            dtype=np.int64,
+        )
+    if widths.min() < 0 or widths.max() > 32:
+        raise ValueError("gather widths must be in [0, 32]")
+    if positions.min() < 0 or int((positions + widths).max()) > 8 * len(buf):
+        raise DecodeError(
+            "bit gather out of range: field extends past the buffer"
+        )
+    padded = np.zeros(len(buf) + 5, dtype=np.int64)
+    padded[: len(buf)] = buf
+    win40 = (
+        (padded[:-4] << np.int64(32))
+        | (padded[1:-3] << np.int64(24))
+        | (padded[2:-2] << np.int64(16))
+        | (padded[3:-1] << np.int64(8))
+        | padded[4:]
+    )
+    sh = 40 - (positions & 7) - widths
+    return (win40[positions >> 3] >> sh) & ((np.int64(1) << widths) - 1)
+
+
 class BitReader:
     """Reads bits MSB-first from a ``bytes``-like object.
 

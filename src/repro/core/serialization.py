@@ -25,7 +25,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.bitio import BitReader, BitWriter, decode_uvarint, encode_uvarint
+from repro.bitio import (
+    BitReader,
+    BitWriter,
+    decode_uvarint,
+    encode_uvarint,
+    gather_bits,
+)
 from repro.core.metadata import RecoilMetadata, SplitEntry
 from repro.errors import MetadataError
 
@@ -149,23 +155,62 @@ def parse_metadata(blob: bytes, offset: int = 0) -> tuple[RecoilMetadata, int]:
     total_groups = -(-num_symbols // lanes)
     expected_grp = -(-total_groups // M)
 
-    r = BitReader(blob[pos:])
+    body = blob[pos:]
+    r = BitReader(body)
     off_diffs = read_signed_series(r, num_entries)
     grp_diffs = read_signed_series(r, num_entries)
     i = np.arange(1, num_entries + 1, dtype=np.int64)
     offsets = off_diffs + i * expected_off
     anchors = grp_diffs + i * expected_grp
 
-    entries: list[SplitEntry] = []
+    # Entry records are [lanes x 16-bit states][5-bit width field]
+    # [lanes x width-bit diffs].  Only the tiny width fields chain
+    # record offsets sequentially; scan those with scalar reads, then
+    # gather every record's state and diff payloads in two vectorized
+    # passes (the PR 2 bulk-bit-I/O path) instead of per-entry reader
+    # calls.
+    base = r.bit_position
+    total_bits = 8 * len(body)
+    starts = np.empty(num_entries, dtype=np.int64)
+    widths = np.empty(num_entries, dtype=np.int64)
+    b = base
+    states_bits = 16 * lanes
     for k in range(num_entries):
-        states = r.read_bits_array(lanes, 16).astype(np.uint32)
-        diffs = read_unsigned_series(r, lanes)
-        group_ids = anchors[k] - diffs
-        entries.append(
-            SplitEntry.from_group_ids(int(offsets[k]), group_ids, states)
+        wf = b + states_bits
+        if wf + _WIDTH_FIELD_BITS > total_bits:
+            raise MetadataError("metadata truncated inside entry records")
+        byte = wf >> 3
+        chunk = int.from_bytes(body[byte : byte + 2].ljust(2, b"\0"), "big")
+        width = ((chunk >> (16 - (wf & 7) - _WIDTH_FIELD_BITS)) & 31) + 1
+        starts[k] = b
+        widths[k] = width
+        b = wf + _WIDTH_FIELD_BITS + width * lanes
+    if b > total_bits:
+        raise MetadataError("metadata truncated inside entry records")
+
+    # The gathers build bit windows over their whole buffer, and
+    # ``body`` extends through the words payload — trim it to the
+    # metadata extent (known once the width scan fixed ``b``).
+    section = body[: (b + 7) // 8]
+    lane_idx = np.arange(lanes, dtype=np.int64)
+    state_pos = starts[:, None] + 16 * lane_idx
+    states_all = gather_bits(section, state_pos, 16).astype(np.uint32)
+    diff_pos = (
+        starts[:, None]
+        + states_bits
+        + _WIDTH_FIELD_BITS
+        + widths[:, None] * lane_idx
+    )
+    diffs_all = gather_bits(section, diff_pos, widths[:, None])
+    group_ids_all = anchors[:, None] - diffs_all
+
+    entries = [
+        SplitEntry.from_group_ids(
+            int(offsets[k]), group_ids_all[k], states_all[k]
         )
-    r.align_to_byte()
-    consumed = r.bit_position // 8
+        for k in range(num_entries)
+    ]
+    consumed = (b + 7) // 8
     md = RecoilMetadata(num_symbols, num_words, lanes, entries)
     return md, pos + consumed
 

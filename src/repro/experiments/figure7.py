@@ -124,7 +124,7 @@ def run(
     profile: str = "default",
     datasets: list[str] | None = None,
     include_multians: bool = True,
-    multians_decode_cap: int = 600_000,
+    multians_decode_cap: int = 1_000_000,
     gpu_threads: int = LARGE_SPLITS,
     cpu_threads: int = SMALL_SPLITS,
 ) -> Figure7Result:
@@ -201,8 +201,11 @@ def run(
                 art.data, table_bits, alphabet_size=256
             )
             mc = MultiansCodec(table)
-            # Correctness check on a capped slice (the full stitch is
-            # quadratic-ish in the unsynced regime).
+            # Real decode on a capped slice.  Since the fused kernel
+            # (repro.tans.fused) replaced the seed's per-symbol
+            # stitch, the default cap covers the full stream at CI
+            # scale — including the n=16 regime where most chunks
+            # never synchronize.
             cap = min(len(art.data), multians_decode_cap)
             blob_small = mc.compress(art.data[:cap])
             t0 = time.perf_counter()
@@ -269,8 +272,61 @@ def run(
     return result
 
 
+def main(argv: list[str] | None = None) -> int:
+    """Regenerate Figure 7 from the command line.
+
+    ``--smoke`` runs one dataset at one quantization level with a
+    small multians cap — the CI tier-1 gate that the whole panel
+    pipeline (both device classes, sync measurement, cost-model
+    projection) stays wired together.  The default regenerates both
+    paper panels (n=11 and n=16, the multians collapse) at the chosen
+    profile.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="figure7",
+        description="Figure 7: decoding throughput on CPU/GPU profiles.",
+    )
+    parser.add_argument(
+        "--profile", default="ci", choices=("ci", "default", "paper"),
+        help="dataset size profile",
+    )
+    parser.add_argument(
+        "--quant", type=int, nargs="+", default=[11, 16],
+        help="quantization levels to run (default: both panels)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="fast wiring check: one dataset, n=11, capped multians",
+    )
+    args = parser.parse_args(argv)
+
+    t0 = time.perf_counter()
+    if args.smoke:
+        runs = [(11, dict(datasets=["rand_100"],
+                          multians_decode_cap=120_000))]
+    else:
+        runs = [(n, {}) for n in args.quant]
+    for quant_bits, kw in runs:
+        res = run(quant_bits, args.profile, **kw)
+        print(res.cpu_table)
+        print()
+        print(res.gpu_table)
+        print()
+        missing = [
+            codec
+            for codec in ("multians", "Recoil CUDA", "Conventional CUDA")
+            if not any(p.codec == codec for p in res.points)
+        ]
+        if missing:
+            raise SystemExit(f"figure7 panel incomplete: missing {missing}")
+    print(
+        f"[figure7] completed in {time.perf_counter() - t0:.1f}s "
+        f"(profile={args.profile}, smoke={args.smoke})"
+    )
+    return 0
+
+
 if __name__ == "__main__":
-    res = run(11, "ci", datasets=["rand_100", "dickens"])
-    print(res.cpu_table)
-    print()
-    print(res.gpu_table)
+    raise SystemExit(main())

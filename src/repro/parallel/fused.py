@@ -415,6 +415,27 @@ def fused_run(
 # ---------------------------------------------------------------------------
 
 
+def geometry_bucket(tasks, lanes: int) -> int:
+    """Walk-geometry bucket for fusion grouping.
+
+    The fused kernel's steady-state fast path covers the intersection
+    of all tasks' steady windows (DESIGN.md §8): fusing a
+    capacity-1 decode (one task walking the whole sequence) with a
+    capacity-64 decode (64 short tasks) collapses that intersection
+    and — worse — keeps the batch at full width long after the short
+    tasks die.  Decodes therefore only fuse when their longest task
+    walks a similar number of interleave groups; this returns the
+    power-of-two band of that length (≤2x spread within a bucket), so
+    same-shape decodes always share a bucket while pathologically
+    unequal ones never do.  Used by the serve batcher and the
+    multi-frame decoder.
+    """
+    longest = max(
+        (t.walk_hi - t.walk_lo) // lanes + 1 for t in tasks
+    )
+    return longest.bit_length()
+
+
 @dataclass
 class StreamSegment:
     """One independent decode joining a fused multi-buffer run.

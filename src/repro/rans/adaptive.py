@@ -22,6 +22,7 @@ parameters with single numpy fancy-indexing operations.
 
 from __future__ import annotations
 
+import hashlib
 import math
 from dataclasses import dataclass
 
@@ -297,6 +298,24 @@ class StaticModelProvider(AdaptiveModelProvider):
 
     def model_ids_for_range(self, start: int, stop: int) -> np.ndarray:
         return np.zeros(stop - start, dtype=np.intp)
+
+
+def provider_fingerprint(provider: AdaptiveModelProvider) -> bytes:
+    """Content fingerprint of a static provider's model.
+
+    Fusion keys (serve batching, multi-frame decode) must group by
+    *model equality*, not provider identity: callers routinely parse
+    their own :class:`StaticModelProvider` from embedded model bytes,
+    so ``id(provider)`` would silently forbid fusing identical models.
+    Computed once and cached on the provider instance.
+    """
+    fp = getattr(provider, "_model_fingerprint", None)
+    if fp is None:
+        model = provider.models[0]
+        digest = hashlib.sha256(np.ascontiguousarray(model.freqs)).digest()
+        fp = bytes([provider.quant_bits]) + digest
+        provider._model_fingerprint = fp
+    return fp
 
 
 class IndexedModelProvider(AdaptiveModelProvider):

@@ -25,7 +25,6 @@ batcher only under its own condition variable.
 
 from __future__ import annotations
 
-import hashlib
 import time
 from collections import deque
 from concurrent.futures import Future
@@ -33,46 +32,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.parallel.fused import StreamSegment
+from repro.parallel.fused import StreamSegment, geometry_bucket
+from repro.rans.adaptive import provider_fingerprint
 from repro.serve.store import ShrunkVariant, StoredAsset
-
-
-def provider_fingerprint(provider) -> bytes:
-    """Content fingerprint of a static provider's model.
-
-    Fuse keys must group by *model equality*, not provider identity:
-    every stored asset parses its own :class:`StaticModelProvider`
-    from the embedded model bytes, so ``id(provider)`` would silently
-    forbid cross-asset fusion even for identical models.  Computed
-    once and cached on the provider instance.
-    """
-    fp = getattr(provider, "_serve_fuse_fingerprint", None)
-    if fp is None:
-        model = provider.models[0]
-        digest = hashlib.sha256(np.ascontiguousarray(model.freqs)).digest()
-        fp = bytes([provider.quant_bits]) + digest
-        provider._serve_fuse_fingerprint = fp
-    return fp
-
-
-def geometry_bucket(tasks, lanes: int) -> int:
-    """Walk-geometry bucket for batch grouping.
-
-    The fused kernel's steady-state fast path covers the intersection
-    of all tasks' steady windows (DESIGN.md §8): fusing a
-    capacity-1 request (one task walking the whole sequence) with a
-    capacity-64 request (64 short tasks) collapses that intersection
-    and — worse — keeps the batch at full width long after the short
-    tasks die.  Requests therefore only fuse when their longest task
-    walks a similar number of interleave groups; this returns the
-    power-of-two band of that length (≤2x spread within a bucket), so
-    same-client-class requests always share a bucket while
-    pathologically unequal ones never do.
-    """
-    longest = max(
-        (t.walk_hi - t.walk_lo) // lanes + 1 for t in tasks
-    )
-    return longest.bit_length()
 
 
 class DecodeRequest:

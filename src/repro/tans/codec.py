@@ -18,6 +18,7 @@ import numpy as np
 
 from repro.bitio import BitWriter
 from repro.errors import DecodeError, EncodeError
+from repro.tans.fused import staged_single_decode
 from repro.tans.table import TansTable
 
 
@@ -103,9 +104,21 @@ class TansDecoder:
     def __init__(self, table: TansTable) -> None:
         self.table = table
 
-    def decode(self, result: TansEncodeResult) -> np.ndarray:
-        """Decode the full stream, verifying terminal conditions."""
-        out, state, bitpos = self.decode_from(
+    def decode(
+        self, result: TansEncodeResult, engine: str = "fused"
+    ) -> np.ndarray:
+        """Decode the full stream, verifying terminal conditions.
+
+        ``engine`` selects the staged-trajectory sweep (default) or
+        the ``"reference"`` seed loop for differential testing.
+        """
+        if engine not in ("fused", "reference"):
+            raise DecodeError(f"unknown engine {engine!r}")
+        decode_from = (
+            self.decode_from if engine == "fused"
+            else self.decode_from_reference
+        )
+        out, state, bitpos = decode_from(
             np.frombuffer(result.payload, dtype=np.uint8),
             result.bit_count,
             result.initial_state,
@@ -134,7 +147,25 @@ class TansDecoder:
         The multians building block: starting state may be a *guess*
         (self-synchronization makes the tail of the output correct).
         Returns ``(symbols, final_state, final_bitpos)``.
+
+        Routed through the staged-trajectory sweep
+        (:func:`repro.tans.fused.staged_single_decode`); the seed loop
+        is kept as :meth:`decode_from_reference`.
         """
+        return staged_single_decode(
+            self.table, payload, bit_count, state, bitpos, num_symbols
+        )
+
+    def decode_from_reference(
+        self,
+        payload: np.ndarray,
+        bit_count: int,
+        state: int,
+        bitpos: int,
+        num_symbols: int,
+    ) -> tuple[np.ndarray, int, int]:
+        """The seed per-symbol loop, kept as the differential twin of
+        :meth:`decode_from`."""
         table = self.table
         T = table.table_size
         sym_t = table.dec_sym.tolist()

@@ -32,6 +32,12 @@ import numpy as np
 from repro.bitio.varint import decode_uvarint, encode_uvarint
 from repro.errors import ContainerError, DecodeError
 from repro.tans.codec import TansDecoder, TansEncodeResult, TansEncoder
+from repro.tans.fused import (
+    bit_windows,
+    fused_speculative_pass,
+    fused_stitch,
+    measure_sync_trajectory,
+)
 from repro.tans.table import TansTable
 
 MAGIC = b"MANS"
@@ -124,10 +130,23 @@ class MultiansCodec:
     # ------------------------------------------------------------------
 
     def decompress(
-        self, blob: bytes, num_threads: int = 256
+        self, blob: bytes, num_threads: int = 256, engine: str = "fused"
     ) -> tuple[np.ndarray, MultiansStats]:
         enc, table = self.parse(blob)
-        return self.parallel_decode(enc, table, num_threads)
+        if engine == "fused":
+            return self.parallel_decode(enc, table, num_threads)
+        if engine == "reference":
+            return self.parallel_decode_reference(enc, table, num_threads)
+        raise DecodeError(f"unknown engine {engine!r}")
+
+    @staticmethod
+    def _plan_chunks(enc: TansEncodeResult, num_threads: int):
+        """Chunk geometry shared by the fused and reference paths."""
+        P = max(1, min(num_threads, max(1, enc.bit_count // 16)))
+        bound = -(-enc.bit_count // P)
+        starts = np.arange(P, dtype=np.int64) * bound
+        ends = np.minimum(starts + bound, enc.bit_count)
+        return P, starts, ends
 
     def parallel_decode(
         self,
@@ -135,14 +154,51 @@ class MultiansCodec:
         table: TansTable,
         num_threads: int,
     ) -> tuple[np.ndarray, MultiansStats]:
+        """Fused wide-lane decode: one ``(P,)``-wide kernel pass plus
+        the searchsorted stitch (:mod:`repro.tans.fused`).  The seed
+        loops are kept as :meth:`parallel_decode_reference`."""
         N = enc.num_symbols
         if N == 0:
             return np.empty(0, dtype=np.int64), MultiansStats(
                 1, 0.0, np.empty(0, dtype=np.int64), 0
             )
-        P = max(1, min(num_threads, max(1, enc.bit_count // 16)))
+        P, starts, ends = self._plan_chunks(enc, num_threads)
         if P == 1:
             out = TansDecoder(table).decode(enc)
+            return out, MultiansStats(1, float(N), np.empty(0, np.int64), 0)
+
+        payload = np.frombuffer(enc.payload, dtype=np.uint8)
+        spec = fused_speculative_pass(
+            table, payload, enc.bit_count, starts, ends,
+            enc.initial_state, N,
+        )
+        out, overlaps, unsynced = fused_stitch(
+            table, spec, enc.bit_count, N, enc.initial_state, starts, ends
+        )
+        stats = MultiansStats(
+            threads=P,
+            chunk_symbols=N / P,
+            overlap_symbols=overlaps,
+            unsynced_threads=unsynced,
+        )
+        return out, stats
+
+    def parallel_decode_reference(
+        self,
+        enc: TansEncodeResult,
+        table: TansTable,
+        num_threads: int,
+    ) -> tuple[np.ndarray, MultiansStats]:
+        """The seed decode pipeline (mat-vec windows + dict stitch),
+        kept as the differential twin of :meth:`parallel_decode`."""
+        N = enc.num_symbols
+        if N == 0:
+            return np.empty(0, dtype=np.int64), MultiansStats(
+                1, 0.0, np.empty(0, dtype=np.int64), 0
+            )
+        P, starts, ends = self._plan_chunks(enc, num_threads)
+        if P == 1:
+            out = TansDecoder(table).decode(enc, engine="reference")
             return out, MultiansStats(1, float(N), np.empty(0, np.int64), 0)
 
         bits = np.unpackbits(
@@ -150,18 +206,16 @@ class MultiansCodec:
         ).astype(np.int64)
         # Pad so 16-bit windows never run off the end.
         bits = np.concatenate([bits, np.zeros(16, dtype=np.int64)])
-        bit_count = enc.bit_count
-        bound = -(-bit_count // P)
-        starts = np.arange(P, dtype=np.int64) * bound
-        ends = np.minimum(starts + bound, bit_count)
 
-        traj_pos, traj_state, traj_sym, traj_len = self._speculative_pass(
-            table, bits, starts, ends, enc.initial_state, N
+        traj_pos, traj_state, traj_sym, traj_len = (
+            self._speculative_pass_reference(
+                table, bits, starts, ends, enc.initial_state, N
+            )
         )
-        return self._stitch(
+        return self._stitch_reference(
             table,
             bits,
-            bit_count,
+            enc.bit_count,
             enc,
             starts,
             ends,
@@ -173,7 +227,7 @@ class MultiansCodec:
 
     # -- phase 1 ---------------------------------------------------------
 
-    def _speculative_pass(
+    def _speculative_pass_reference(
         self,
         table: TansTable,
         bits: np.ndarray,
@@ -228,7 +282,7 @@ class MultiansCodec:
 
     # -- phase 2 ---------------------------------------------------------
 
-    def _stitch(
+    def _stitch_reference(
         self,
         table: TansTable,
         bits: np.ndarray,
@@ -384,9 +438,81 @@ def measure_sync_length(
     expected overlap a speculative thread must decode before its
     output becomes trustworthy.
 
+    All sampling windows advance as one ``(samples,)``-wide state
+    vector through the fused kernel's window arrays; the true
+    trajectory is probed through a dense position-to-state table
+    (first recorded state wins, matching the seed's ``setdefault``).
+    The seed's per-sample per-bit loops are kept as
+    :func:`measure_sync_length_reference`.
+
     Returns the mean sync length in symbols (capped at the window when
     a sample never converges — the n=16 regime).
     """
+    rng = np.random.default_rng(seed)
+    T = table.table_size
+    nb_t = table.dec_nb
+    base_t = table.dec_base
+    payload = np.frombuffer(enc.payload, dtype=np.uint8)
+    window = min(window_symbols, enc.num_symbols)
+    if window == 0 or samples == 0:
+        return 0.0
+
+    positions, states, end_pos = measure_sync_trajectory(
+        table, payload, enc.bit_count, enc.initial_state, window
+    )
+    # Dense bitpos -> true-state map.  Zero-bit symbols revisit a
+    # position; keep the first recorded state, like the seed's
+    # ``dict.setdefault``.
+    dense = np.full(end_pos + 17, -1, dtype=np.int64)
+    first = np.ones(window, dtype=bool)
+    first[1:] = positions[1:] != positions[:-1]
+    dense[positions[first]] = states[first]
+
+    # Draw (start step, guessed state) pairs in the seed's interleaved
+    # order so both implementations consume the same rng stream.
+    start_steps = np.empty(samples, dtype=np.int64)
+    guesses = np.empty(samples, dtype=np.int64)
+    for s in range(samples):
+        start_steps[s] = rng.integers(0, max(1, window // 2))
+        guesses[s] = T + int(rng.integers(0, T))
+
+    win24 = bit_windows(payload).astype(np.int64)
+    p2 = positions[start_steps].copy()
+    gx = guesses.copy()
+    steps = np.zeros(samples, dtype=np.int64)
+    active = np.ones(samples, dtype=bool)
+    probe_cap = len(dense) - 1
+    while active.any():
+        # Probe before the end-of-window guard, like the seed: a match
+        # exactly at the trajectory's end position still counts.
+        matched = active & (dense[np.minimum(p2, probe_cap)] == gx)
+        active &= ~matched
+        overrun = active & (p2 >= end_pos)
+        steps[overrun] = window
+        active &= ~overrun
+        if not active.any():
+            break
+        e = gx - T
+        nb = nb_t[e]
+        val = (
+            win24[p2 >> 3] >> (24 - (p2 & 7) - nb)
+        ) & ((np.int64(1) << nb) - 1)
+        gx = np.where(active, base_t[e] + val, gx)
+        p2 = p2 + np.where(active, nb, 0)
+        steps += active
+        active &= steps < window
+    return float(np.mean(steps))
+
+
+def measure_sync_length_reference(
+    table: TansTable,
+    enc: TansEncodeResult,
+    samples: int = 8,
+    window_symbols: int = 200_000,
+    seed: int = 0,
+) -> float:
+    """The seed's scalar sync-length sampler (differential twin of
+    :func:`measure_sync_length`)."""
     rng = np.random.default_rng(seed)
     T = table.table_size
     sym_t = table.dec_sym.tolist()

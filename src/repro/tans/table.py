@@ -127,6 +127,26 @@ class TansTable:
 
     # ------------------------------------------------------------------
 
+    def packed_decode_entries(self) -> np.ndarray:
+        """Fused-kernel decode table: one int64 gather per state.
+
+        Entry ``e`` packs ``base << 22 | nb << 17 | ((1 << nb) - 1)``
+        (base < 2**17, nb <= 16, mask < 2**17), so the wide kernels
+        unpack three fields from a single table lookup instead of
+        gathering ``dec_nb``/``dec_base`` separately and recomputing
+        the bit mask per step.  Built once per table and cached.
+        """
+        pk = getattr(self, "_packed_decode", None)
+        if pk is None:
+            nb = self.dec_nb.astype(np.int64)
+            pk = (
+                (self.dec_base.astype(np.int64) << 22)
+                | (nb << 17)
+                | ((np.int64(1) << nb) - 1)
+            )
+            self._packed_decode = pk
+        return pk
+
     @property
     def entropy_bits_per_symbol(self) -> float:
         p = self.freqs / self.table_size

@@ -12,6 +12,7 @@ from repro.bitio import (
     decode_varint,
     encode_uvarint,
     encode_varint,
+    gather_bits,
 )
 from repro.errors import ContainerError, DecodeError
 
@@ -171,6 +172,54 @@ def test_signed_series_roundtrip_property(values):
     r = BitReader(w.to_bytes())
     for v in values:
         assert r.read_signed(41) == v
+
+
+class TestGatherBits:
+    def test_matches_bitreader(self):
+        import numpy as np
+
+        w = BitWriter()
+        values = [0, 1, 2**16 - 1, 12345, 2**31 - 1, 7]
+        widths = [1, 3, 16, 17, 32, 5]
+        positions = []
+        p = 0
+        for v, width in zip(values, widths):
+            positions.append(p)
+            w.write_bits(v, width)
+            p += width
+        blob = w.to_bytes()
+        got = gather_bits(blob, np.array(positions), np.array(widths))
+        assert got.tolist() == values
+        # Cross-check against sequential reads.
+        r = BitReader(blob)
+        assert [r.read_bits(width) for width in widths] == values
+
+    def test_broadcasts_row_widths(self):
+        import numpy as np
+
+        blob = bytes(range(32))
+        pos = np.arange(0, 64, 8).reshape(2, 4)
+        out = gather_bits(blob, pos, np.array([[8], [4]]))
+        assert out.shape == (2, 4)
+        assert out[0].tolist() == [0, 1, 2, 3]
+        assert out[1].tolist() == [0, 0, 0, 0]  # top nibbles of 4..7
+
+    def test_out_of_range_rejected(self):
+        import numpy as np
+
+        with pytest.raises(DecodeError):
+            gather_bits(b"\xff", np.array([4]), 8)
+
+    def test_width_cap(self):
+        import numpy as np
+
+        with pytest.raises(ValueError):
+            gather_bits(b"\xff" * 16, np.array([0]), 33)
+
+    def test_empty_positions(self):
+        import numpy as np
+
+        assert gather_bits(b"", np.array([], dtype=np.int64), 8).size == 0
 
 
 class TestVarint:

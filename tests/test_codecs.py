@@ -148,6 +148,69 @@ class TestFraming:
         with pytest.raises(ContainerError):
             decompress_frames(b"XXXX" + blob[4:])
 
+    def test_shared_model_roundtrip(self, skewed_bytes):
+        """shared_model frames fingerprint-match and decode as one
+        fused multi-buffer dispatch."""
+        blob = compress_frames(
+            skewed_bytes, frame_symbols=12_000, num_splits=16,
+            shared_model=True,
+        )
+        assert np.array_equal(decompress_frames(blob), skewed_bytes)
+
+    def test_shared_model_single_kernel_dispatch(self, skewed_bytes,
+                                                 monkeypatch):
+        from repro.parallel import fused as pf
+
+        calls = []
+        real = pf.fused_run_multi
+
+        def spy(provider, lanes, segments, arena, out_dtype=None):
+            calls.append(len(segments))
+            return real(provider, lanes, segments, arena, out_dtype)
+
+        # framing imports the entry point lazily, so patching the
+        # module attribute intercepts its dispatches.
+        monkeypatch.setattr(
+            "repro.parallel.fused.fused_run_multi", spy
+        )
+        # 50k symbols in four equal 12.5k frames: same model, same
+        # walk geometry -> exactly one fused dispatch.
+        shared = compress_frames(
+            skewed_bytes, frame_symbols=12_500, num_splits=16,
+            shared_model=True,
+        )
+        assert np.array_equal(decompress_frames(shared), skewed_bytes)
+        n_frames = len(frame_info(shared))
+        assert n_frames == 4
+        assert calls == [n_frames]  # one dispatch carrying every frame
+
+        calls.clear()
+        per_frame = compress_frames(
+            skewed_bytes, frame_symbols=12_500, num_splits=16,
+        )
+        assert np.array_equal(decompress_frames(per_frame), skewed_bytes)
+        # Per-frame models cannot fuse — one dispatch per frame.
+        assert calls == [1] * n_frames
+
+        calls.clear()
+        # A ragged short final frame must not ride in the big frames'
+        # batch (it would collapse the steady-state window): same
+        # model, two dispatches.
+        ragged = compress_frames(
+            skewed_bytes, frame_symbols=16_000, num_splits=16,
+            shared_model=True,
+        )
+        assert np.array_equal(decompress_frames(ragged), skewed_bytes)
+        assert sorted(calls) == [1, 3]
+
+    def test_shared_model_max_parallelism(self, skewed_bytes):
+        blob = compress_frames(
+            skewed_bytes, frame_symbols=12_000, num_splits=16,
+            shared_model=True,
+        )
+        out = decompress_frames(blob, max_parallelism=3)
+        assert np.array_equal(out, skewed_bytes)
+
     def test_truncated_frame(self, skewed_bytes):
         blob = compress_frames(skewed_bytes[:5000])
         with pytest.raises(ContainerError):

@@ -71,6 +71,65 @@ class TestQuantizeCounts:
         assert np.all(freqs[counts == 0] == 0)
 
 
+class TestQuantizeResidualBranches:
+    """The two residual-correction paths of quantize_counts.
+
+    Flooring plus the at-least-one rule can overshoot the budget
+    (negative residual: the shrink loop) and the bump loop guards
+    against a residual larger than one pass can place (the wrap-around
+    ``i = 0`` reset).  The wrap case cannot arise from real counts —
+    per-symbol floor loss is below 1, so ``residual <= num_present`` —
+    which is why it is exercised by fault injection.
+    """
+
+    def test_negative_residual_shrinks_dominant_symbol(self):
+        # 10 rare symbols are bumped to frequency 1, overshooting the
+        # 16-slot budget; the surplus must come back from the dominant
+        # symbol (largest freq per count — the cheapest place).
+        counts = np.array([1000] + [1] * 10, dtype=np.int64)
+        freqs = quantize_counts(counts, 4)
+        assert int(freqs.sum()) == 16
+        assert np.all(freqs[1:] == 1)
+        assert freqs[0] == 6
+
+    def test_negative_residual_multiple_rounds(self):
+        # Only two symbols are shrinkable (freq > 1) but five slots
+        # must be returned: the shrink loop has to iterate.
+        counts = np.array([100, 90] + [1] * 12, dtype=np.int64)
+        freqs = quantize_counts(counts, 4)
+        assert int(freqs.sum()) == 16
+        assert np.all(freqs[2:] == 1)
+        assert np.all(freqs[:2] >= 1)
+
+    def test_negative_residual_never_below_one(self):
+        # Everything present stays encodable no matter how deep the
+        # overshoot goes.
+        counts = np.array([10**9, 5, 4, 3, 2, 1, 1, 1], dtype=np.int64)
+        freqs = quantize_counts(counts, 3)
+        assert int(freqs.sum()) == 8
+        assert np.all(freqs > 0)
+
+    def test_wrap_around_bump(self, monkeypatch):
+        """Fault-injected floor that loses one extra slot per symbol,
+        pushing the residual past num_present so the bump loop must
+        wrap (i = 0) and distribute a second round."""
+        import repro.rans.model as model_mod
+
+        class LossyNumpy:
+            def __getattr__(self, name):
+                return getattr(np, name)
+
+            @staticmethod
+            def floor(x):
+                return np.maximum(np.floor(x) - 1, 0)
+
+        monkeypatch.setattr(model_mod, "np", LossyNumpy())
+        counts = np.array([40, 30, 20, 10], dtype=np.int64)
+        freqs = quantize_counts(counts, 4)
+        assert int(freqs.sum()) == 16
+        assert np.all(freqs > 0)
+
+
 class TestSymbolModel:
     def test_cdf_structure(self, model11):
         assert model11.cdf[0] == 0
