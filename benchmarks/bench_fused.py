@@ -6,9 +6,16 @@ Figure 7 CPU workload (entropy-matched enwik8 surrogate, n=11, K=32):
 - ``scalar``       — the single-state pure-Python reference decoder;
 - ``interleaved``  — one 32-lane coder, full-stream decode (fused);
 - ``pooled``       — 8 recoil tasks on 8 real threads (fused engines);
+- ``sharded``      — the same 8 tasks on 8 shard *processes* over
+  shared memory (``decode_with_pool(backend="process")``);
 - ``fused``        — 8 recoil tasks, one fused wide-lane kernel;
 - ``seed_engine``  — the same 8 tasks on the pre-fusion reference
   engine (``LaneEngine.run_reference``), i.e. the seed hot path.
+
+The ``backend_shootout`` section compares the thread and process
+fan-out backends on the same LPT shard plan (measured wall-clock plus
+the solo-shard makespan — docs/BENCHMARKS.md); CI gates on its
+``speedup_process_vs_thread``.
 
 The JSON this emits is the perf trajectory future PRs regress
 against; CI runs it in smoke mode.  Usage::
@@ -34,6 +41,7 @@ from repro.rans.adaptive import StaticModelProvider
 from repro.rans.interleaved import InterleavedDecoder, InterleavedEncoder
 from repro.rans.model import SymbolModel
 from repro.rans.scalar import ScalarDecoder, ScalarEncoder
+from repro.stats.timing import measure_backend_shootout
 
 QUANT_BITS = 11
 LANES = 32
@@ -100,6 +108,14 @@ def run(symbols: int, threads: int, repeats: int) -> dict:
         check(data),
         repeats,
     )
+    rates["sharded"] = _rate(
+        lambda: decode_with_pool(
+            provider, LANES, enc.words, tasks, enc.num_symbols,
+            np.uint8, threads, backend="process",
+        ).symbols,
+        check(data),
+        repeats,
+    )
     rates["fused"] = _rate(
         lambda: decoder.decode(
             enc.words, enc.final_states, md, engine="fused"
@@ -138,6 +154,12 @@ def run(symbols: int, threads: int, repeats: int) -> dict:
             ), 1),
         }
 
+    # -- backend shootout: thread vs process fan-out, same shard plan --
+    shootout = measure_backend_shootout(
+        provider, LANES, enc.words, tasks, enc.num_symbols, np.uint8,
+        workers=threads, repeats=repeats, expected=data,
+    )
+
     return {
         "workload": {
             "dataset": "enwik8-surrogate (Figure 7 CPU panel)",
@@ -151,6 +173,10 @@ def run(symbols: int, threads: int, repeats: int) -> dict:
         "speedup_fused_vs_seed": round(
             rates["fused"] / rates["seed_engine"], 3
         ),
+        "backend_shootout": shootout,
+        "speedup_process_vs_thread": shootout[
+            "speedup_process_vs_thread"
+        ],
         "threads_sweep_symbols_per_sec": sweep,
     }
 

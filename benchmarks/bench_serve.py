@@ -30,6 +30,11 @@ def main(argv=None) -> int:
     ap.add_argument("--symbols", type=int, default=200_000)
     ap.add_argument("--clients", type=int, nargs="+", default=[1, 8, 64])
     ap.add_argument("--repeats", type=int, default=2)
+    ap.add_argument("--backend", default="fused",
+                    choices=("fused", "thread", "process"),
+                    help="service batch-execution backend for the sweep")
+    ap.add_argument("--workers", type=int, default=8,
+                    help="fan-out worker count for the backend sections")
     ap.add_argument(
         "--out",
         default=str(pathlib.Path(__file__).resolve().parents[1]
@@ -41,6 +46,8 @@ def main(argv=None) -> int:
         symbols=args.symbols,
         clients=tuple(args.clients),
         repeats=args.repeats,
+        backend=args.backend,
+        workers=args.workers,
     )
     with open(args.out, "w") as fh:
         json.dump(result, fh, indent=2)

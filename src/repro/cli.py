@@ -114,6 +114,8 @@ def _cmd_serve_bench(args) -> int:
         symbols=args.symbols,
         clients=tuple(args.clients),
         repeats=args.repeats,
+        backend=args.backend,
+        workers=args.workers,
     )
     if args.json:
         print(json.dumps(result, indent=2))
@@ -172,6 +174,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="concurrent-client counts to sweep")
     b.add_argument("--repeats", type=int, default=2,
                    help="best-of repeat count per measurement")
+    b.add_argument("--backend", default="fused",
+                   choices=("fused", "thread", "process"),
+                   help="batch execution backend: one in-process fused "
+                   "kernel call, a thread fan-out, or sharded worker "
+                   "processes over shared memory")
+    b.add_argument("--workers", type=int, default=8,
+                   help="fan-out worker count for thread/process backends")
     b.add_argument("--json", action="store_true",
                    help="emit the full result as JSON")
     b.set_defaults(func=_cmd_serve_bench)

@@ -47,7 +47,14 @@ class RecoilCodec:
     # -- encoding -------------------------------------------------------
 
     def encode(self, data: np.ndarray, num_splits: int) -> RecoilEncoded:
-        """Encode with up to ``num_splits`` parallel decode segments."""
+        """Encode with up to ``num_splits`` parallel decode segments.
+
+        :param data: symbol array inside the provider's alphabet.
+        :param num_splits: decoder parallelism the metadata supports.
+        :returns: the encoded stream, final states, and metadata.
+        :raises EncodeError: ``num_splits < 1``, or a symbol outside
+            the model alphabet (zero quantized frequency).
+        """
         if num_splits < 1:
             raise EncodeError(
                 f"num_splits must be >= 1, got {num_splits}"
@@ -56,7 +63,12 @@ class RecoilCodec:
 
     def compress(self, data: np.ndarray, num_splits: int) -> bytes:
         """Encode and wrap in a container (static providers embed the
-        model; adaptive providers travel out of band)."""
+        model; adaptive providers travel out of band).
+
+        :returns: self-contained container bytes (for static
+            providers) servable via :meth:`shrink`.
+        :raises EncodeError: see :meth:`encode`.
+        """
         encoded = self.encode(data, num_splits)
         return build_container(
             encoded,
@@ -69,11 +81,25 @@ class RecoilCodec:
     def decompress(
         self, blob: bytes, max_threads: int | None = None
     ) -> np.ndarray:
+        """Decode a container encoded with this codec's provider.
+
+        :param max_threads: optionally combine splits client-side
+            before decoding (caps decoder parallelism).
+        :returns: the decoded symbol array.
+        :raises ContainerError: malformed container bytes.
+        :raises MetadataError: corrupt/inconsistent split metadata, or
+            ``max_threads < 1``.
+        :raises DecodeError: bitstream corruption (exhausted stream,
+            lanes not returning to the initial state).
+        """
         return self.decompress_with_stats(blob, max_threads).symbols
 
     def decompress_with_stats(
         self, blob: bytes, max_threads: int | None = None
     ) -> RecoilDecodeResult:
+        """Like :meth:`decompress`, also returning the engine work
+        counters and workload summary that feed the Figure 7 cost
+        model (same raises)."""
         parsed = parse_container(blob, provider=self.provider)
         return self._decoder.decode(
             parsed.words(blob),
@@ -85,7 +111,14 @@ class RecoilCodec:
     # -- serving ----------------------------------------------------------
 
     def shrink(self, blob: bytes, target_threads: int) -> bytes:
-        """Real-time split combining before transmission (§3.3)."""
+        """Real-time split combining before transmission (§3.3).
+
+        :param target_threads: the client's decoder parallelism.
+        :returns: container bytes with combined metadata — the payload
+            is byte-identical to the input's, never re-encoded.
+        :raises ContainerError: malformed container bytes.
+        :raises MetadataError: ``target_threads < 1``.
+        """
         return shrink_container(blob, target_threads)
 
 
@@ -113,6 +146,17 @@ def recoil_compress(
 
     When ``model`` is omitted a static model is fitted to the data
     (and embedded in the container).
+
+    :param data: symbol array (bytes or 16-bit symbols).
+    :param num_splits: decoder parallelism the metadata supports.
+    :param quant_bits: probability quantization level ``n`` (≤ 16).
+    :param model: explicit symbol model; must cover every symbol in
+        ``data``.
+    :param lanes: interleaved rANS lanes per decoder thread.
+    :returns: self-contained container bytes.
+    :raises EncodeError: empty input, ``num_splits < 1``, or a symbol
+        with zero quantized frequency.
+    :raises ModelError: invalid ``quant_bits`` or malformed ``model``.
     """
     if model is None:
         model = _default_model(data, quant_bits)
@@ -129,6 +173,12 @@ def recoil_decompress(
     ``max_parallelism`` caps the number of decoder threads by
     combining splits client-side; ``provider`` is required for
     containers encoded with adaptive (out-of-band) models.
+
+    :returns: the decoded symbol array.
+    :raises ContainerError: malformed container bytes.
+    :raises MetadataError: corrupt split metadata, a missing
+        out-of-band model, or ``max_parallelism < 1``.
+    :raises DecodeError: bitstream corruption.
     """
     parsed = parse_container(blob, provider=provider)
     decoder = RecoilDecoder(parsed.provider, lanes=parsed.lanes)
@@ -142,7 +192,13 @@ def recoil_decompress(
 
 
 def recoil_shrink(blob: bytes, target_threads: int) -> bytes:
-    """Combine splits in a container without re-encoding (§3.3)."""
+    """Combine splits in a container without re-encoding (§3.3).
+
+    :returns: container bytes with metadata for ``target_threads``
+        decoder threads (payload byte-identical to the input's).
+    :raises ContainerError: malformed container bytes.
+    :raises MetadataError: ``target_threads < 1``.
+    """
     return shrink_container(blob, target_threads)
 
 
@@ -161,6 +217,15 @@ def recoil_service(
     :class:`repro.serve.ServiceConfig`; the returned
     :class:`repro.serve.RecoilService` is a context manager — close it
     to stop the dispatcher thread.
+
+    :param assets: name → symbol array, each encoded on ingest.
+    :param num_splits: encode-side parallelism for every asset.
+    :param config: service tunables (batch window, admission bound,
+        ``decode_backend``/``decode_workers`` fan-out knobs).
+    :returns: a running :class:`repro.serve.RecoilService`.
+    :raises EncodeError: an asset failed to encode (the service is
+        closed before re-raising).
+    :raises ServeError: invalid ``config`` values.
     """
     from repro.serve import RecoilService
 

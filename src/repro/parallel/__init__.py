@@ -15,8 +15,12 @@
   recording, independent encodes fused into one wide state vector.
 - :mod:`repro.parallel.buffers` — the scratch-buffer arena backing the
   kernels (DESIGN.md §9).
-- :mod:`repro.parallel.executor` — thread-pool execution of decode
-  tasks on real OS threads, cost-balanced via the cost model.
+- :mod:`repro.parallel.executor` — pooled execution of decode tasks
+  on real OS threads or shard processes, cost-balanced via the cost
+  model (``backend={"thread","process"}``).
+- :mod:`repro.parallel.shards` — the sharded multi-process executor
+  (DESIGN.md §14): persistent worker processes running the fused
+  kernels zero-copy over ``multiprocessing.shared_memory``.
 - :mod:`repro.parallel.costmodel` — analytical device profiles used to
   project Figure-7-style GB/s numbers from counted work, plus the
   task-assignment cost heuristics.
@@ -29,6 +33,8 @@ from repro.parallel.fused import (
     StreamSegment,
     fused_run_multi,
 )
+from repro.parallel.executor import PoolDecodeResult, decode_with_pool
+from repro.parallel.shards import ShardedExecutor, sharding_available
 from repro.parallel.simd import LaneEngine, ThreadTask, EngineStats
 from repro.parallel.costmodel import (
     DeviceProfile,

@@ -1,17 +1,25 @@
-"""Executing decode tasks on real OS threads.
+"""Executing decode tasks on real OS threads or sharded processes.
 
 The batched :class:`~repro.parallel.simd.LaneEngine` already *models*
 massive parallelism faithfully (work, sync overhead, stragglers); this
-module additionally runs the same tasks on a real thread pool so the
-examples can demonstrate genuine concurrent decoding.  numpy kernels
-release the GIL for large array operations, so multi-thread speedups
-are real, if modest, in pure Python.
+module additionally runs the same tasks on a real worker pool so the
+examples can demonstrate genuine concurrent decoding.  Two backends
+share one interface:
+
+- ``"thread"`` — a :class:`~concurrent.futures.ThreadPoolExecutor`.
+  numpy kernels release the GIL for large array operations, but at
+  serving widths the per-op arrays are small and the GIL-held numpy
+  *dispatch* dominates, so threads convoy (docs/BENCHMARKS.md).
+- ``"process"`` — the sharded multi-process executor
+  (:mod:`repro.parallel.shards`): worker processes run the same fused
+  kernels zero-copy over shared memory, immune to the convoy.
 
 Recoil threads are fully independent by construction (paper §3.1:
 "These decoders are completely independent of each other since they do
 not share either states or bitstream starting offsets") — each worker
 gets a disjoint subset of tasks and writes to disjoint slices of the
-shared output array, so no locking is needed.
+shared output array, so no locking is needed, and the two backends
+produce bit-identical output.
 """
 
 from __future__ import annotations
@@ -26,6 +34,8 @@ from repro.parallel.costmodel import assign_tasks
 from repro.parallel.simd import EngineStats, LaneEngine, ThreadTask
 from repro.rans.adaptive import AdaptiveModelProvider
 
+BACKENDS = ("thread", "process")
+
 
 @dataclass
 class PoolDecodeResult:
@@ -34,6 +44,9 @@ class PoolDecodeResult:
     symbols: np.ndarray
     per_worker_stats: list[EngineStats]
     workers: int
+    #: backend that actually ran (``"thread"`` after a graceful
+    #: fallback from an unavailable ``"process"`` request).
+    backend: str = "thread"
 
     @property
     def total_symbols_decoded(self) -> int:
@@ -49,20 +62,71 @@ def decode_with_pool(
     out_dtype,
     workers: int,
     strategy: str = "cost",
+    backend: str = "thread",
+    executor=None,
 ) -> PoolDecodeResult:
-    """Decode ``tasks`` on ``workers`` real threads.
+    """Decode ``tasks`` on ``workers`` real threads or shard processes.
 
-    Each worker runs its own :class:`LaneEngine` (the fused wide-lane
-    kernel, with a private scratch arena) over a task subset; commit
-    ranges are disjoint so the shared output needs no locks.  Tasks
-    are spread by estimated cost (walked symbols) via
-    :func:`repro.parallel.costmodel.assign_tasks`; pass
-    ``strategy="round_robin"`` for the historical blind dealing.
+    Each worker runs the fused wide-lane kernel (with a private
+    scratch arena) over a task subset; commit ranges are disjoint so
+    the shared output needs no locks.  Tasks are spread by estimated
+    cost (walked symbols) via
+    :func:`repro.parallel.costmodel.assign_tasks` — the same LPT plan
+    for both backends.
+
+    :param provider: model provider shared by all tasks.
+    :param lanes: interleaved rANS lanes per task (``K``).
+    :param words: the shared 16-bit word stream.
+    :param tasks: decode tasks with disjoint commit ranges.
+    :param num_symbols: length of the output sequence.
+    :param out_dtype: output symbol dtype.
+    :param workers: maximum worker count (buckets never exceed it).
+    :param strategy: ``"cost"`` (LPT, default), ``"round_robin"``
+        (historical blind dealing), or ``"sharded"`` — an alias for
+        ``strategy="cost"`` + ``backend="process"``.
+    :param backend: ``"thread"`` or ``"process"``.  A ``"process"``
+        request falls back to threads when shared memory is
+        unavailable on the host (check ``result.backend`` for what
+        actually ran).
+    :param executor: optional pre-built
+        :class:`repro.parallel.shards.ShardedExecutor` to dispatch on
+        (the serve dispatcher passes its own); by default the shared
+        module-level pool is used.
+    :returns: the decoded symbols plus per-worker engine stats.
+    :raises ParallelismError: ``workers < 1``, unknown backend, or a
+        shard worker died mid-job.
+    :raises DecodeError: corrupt stream/metadata (either backend).
+    :raises ValueError: unknown assignment strategy.
     """
     if workers < 1:
         raise ParallelismError(f"workers must be >= 1, got {workers}")
+    if strategy == "sharded":
+        strategy, backend = "cost", "process"
+    if backend not in BACKENDS:
+        raise ParallelismError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
+
+    if backend == "process":
+        from repro.parallel import shards
+
+        pool = executor if executor is not None else (
+            shards.default_executor(workers)
+        )
+        if pool is not None and not pool.broken and not pool.closed:
+            return pool.decode(
+                provider, lanes, words, tasks, num_symbols, out_dtype,
+                workers=workers, strategy=strategy,
+            )
+        # Graceful fallback: no shared memory on this host (or the
+        # default pool could not start) — run the same plan on threads.
+
     out = np.empty(num_symbols, dtype=out_dtype)
     buckets = assign_tasks(tasks, workers, strategy=strategy)
+    if not buckets:  # zero tasks: nothing to decode, nothing to commit
+        return PoolDecodeResult(
+            symbols=out, per_worker_stats=[], workers=0, backend="thread"
+        )
 
     def run(bucket: list[ThreadTask]) -> EngineStats:
         return LaneEngine(provider, lanes).run(words, bucket, out)
@@ -73,5 +137,8 @@ def decode_with_pool(
         with ThreadPoolExecutor(max_workers=len(buckets)) as pool:
             stats = list(pool.map(run, buckets))
     return PoolDecodeResult(
-        symbols=out, per_worker_stats=stats, workers=len(buckets)
+        symbols=out,
+        per_worker_stats=stats,
+        workers=len(buckets),
+        backend="thread",
     )

@@ -119,7 +119,22 @@ def fused_run(
     arena: ScratchArena,
 ) -> EngineStats:
     """Decode every task into ``out`` (same contract as
-    :meth:`~repro.parallel.simd.LaneEngine.run`)."""
+    :meth:`~repro.parallel.simd.LaneEngine.run`).
+
+    :param provider: model provider shared by all tasks.
+    :param lanes: interleaved lanes per task (``K``).
+    :param words: the 16-bit word stream all tasks read from.
+    :param tasks: decode tasks with disjoint commit ranges.
+    :param out: preallocated output of the full sequence length; each
+        position is written by exactly one task.
+    :param arena: caller-owned scratch buffers (not thread-safe —
+        one arena per concurrently running kernel, DESIGN.md §9).
+    :returns: work counters (iterations, symbols, words read).
+    :raises DecodeError: task geometry inconsistent with the stream
+        (start/activation out of range), the bitstream exhausting
+        mid-walk, or a terminal drain that does not return every lane
+        to the initial state ``L``.
+    """
     K = lanes
     T = len(tasks)
     stats = EngineStats(tasks=T)
@@ -542,6 +557,16 @@ def fused_run_multi(
     segment that under-reads past its own region is caught by the
     terminal drain (``terminal_pos`` check) rather than immediately at
     the read, exactly like a corrupt task inside a single stream.
+
+    :param segments: independent decodes to fuse; shared word-buffer
+        objects are concatenated only once.
+    :param arena: caller-owned scratch buffers (DESIGN.md §9).
+    :param out_dtype: output dtype (default: the provider's).
+    :returns: one freshly allocated flat output plus per-segment
+        slices and aggregate work counters.
+    :raises DecodeError: more than one segment with a non-static
+        provider (positional model ids do not survive rebasing), or
+        any corruption :func:`fused_run` detects.
     """
     if len(segments) > 1 and not provider.is_static:
         raise DecodeError(

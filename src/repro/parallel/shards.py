@@ -1,0 +1,629 @@
+"""Sharded multi-process execution of the fused kernels.
+
+The thread pool of :mod:`repro.parallel.executor` runs the fused
+wide-lane kernel on real OS threads, but every numpy call still takes
+the GIL for its Python-level dispatch.  At serving widths the arrays
+per worker are small (a handful of tasks x 32 lanes), so dispatch —
+not arithmetic — dominates and the workers convoy on the GIL: on a
+one-core host, 8 threads decode ~7x *slower* than 1 (see
+docs/BENCHMARKS.md).  Recoil's split decoders are completely
+independent (paper §3.1: no shared states, no shared offsets), which
+makes partition-level sharding across OS *processes* safe: each worker
+owns disjoint tasks and writes disjoint slices of the output, so
+nothing needs a lock and nothing needs the same interpreter.
+
+Layout (DESIGN.md §14):
+
+- A :class:`ShardedExecutor` keeps a persistent pool of worker
+  processes, each holding a long-lived :class:`~repro.parallel.simd.LaneEngine`
+  (scratch arena reused across jobs) and a provider cache keyed by
+  model fingerprint, so steady-state jobs ship **no model data**.
+- Input word buffers and the output symbol array live in
+  ``multiprocessing.shared_memory`` segments; workers map them and run
+  the existing fused kernels zero-copy against disjoint slices.  Only
+  small task descriptors (:class:`~repro.parallel.simd.ThreadTask`)
+  and segment names cross the pipe.
+- Shard planning reuses :func:`repro.parallel.costmodel.assign_tasks`
+  (LPT over estimated walked symbols) so stragglers balance across
+  processes exactly as they do across threads.
+- A worker crash fails the in-flight job with
+  :class:`~repro.errors.ParallelismError`, marks the pool broken, and
+  the parent unlinks every shared-memory segment it created (workers
+  never own segments).
+
+When shared memory is unavailable (no writable ``/dev/shm``, missing
+platform support), :func:`sharding_available` is ``False`` and callers
+fall back to the thread backend — see
+:func:`repro.parallel.executor.decode_with_pool`.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import pickle
+import secrets
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ParallelismError
+from repro.parallel.costmodel import assign_tasks
+from repro.parallel.executor import PoolDecodeResult
+from repro.parallel.fused import (
+    MultiRunResult,
+    StreamSegment,
+    fuse_segments,
+)
+from repro.parallel.simd import EngineStats, LaneEngine, ThreadTask
+from repro.rans.adaptive import AdaptiveModelProvider, provider_fingerprint
+
+_SHM_PREFIX = "rcl_"
+
+
+def combine_stats(per_worker: list[EngineStats]) -> EngineStats:
+    """Aggregate per-shard stats into one :class:`EngineStats`.
+
+    Work counters (symbols, words, tasks) add; iteration counters take
+    the maximum, since shards run concurrently.
+    """
+    total = EngineStats()
+    for s in per_worker:
+        total.tasks += s.tasks
+        total.symbols_decoded += s.symbols_decoded
+        total.words_read += s.words_read
+        total.iterations = max(total.iterations, s.iterations)
+        total.max_task_iterations = max(
+            total.max_task_iterations, s.max_task_iterations
+        )
+    return total
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory plumbing.
+# ---------------------------------------------------------------------------
+
+
+def sharding_available() -> bool:
+    """Whether POSIX shared memory works here (cached probe)."""
+    global _AVAILABLE
+    if _AVAILABLE is None:
+        try:
+            from multiprocessing import shared_memory
+
+            probe = shared_memory.SharedMemory(
+                create=True, size=16, name=f"{_SHM_PREFIX}probe_{os.getpid()}"
+            )
+            probe.close()
+            probe.unlink()
+            _AVAILABLE = True
+        except Exception:
+            _AVAILABLE = False
+    return _AVAILABLE
+
+
+_AVAILABLE: bool | None = None
+
+
+def _new_shm(size: int):
+    from multiprocessing import shared_memory
+
+    name = f"{_SHM_PREFIX}{os.getpid()}_{secrets.token_hex(6)}"
+    return shared_memory.SharedMemory(create=True, size=max(size, 1), name=name)
+
+
+def _attach_shm(name: str):
+    """Attach to a parent-owned segment.
+
+    Workers share the parent's resource-tracker daemon (fork keeps the
+    pipe), and the tracker's registry is a set — the duplicate
+    registration an attach performs is harmless, and the parent's
+    single ``unlink`` clears it.  Workers must never unregister or
+    unlink: the parent alone owns segment lifetime.
+    """
+    from multiprocessing import shared_memory
+
+    return shared_memory.SharedMemory(name=name)
+
+
+def _release_shm(shm, unlink: bool) -> None:
+    try:
+        shm.close()
+    except Exception:
+        pass
+    if unlink:
+        try:
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+        except Exception:
+            pass
+
+
+# ---------------------------------------------------------------------------
+# Worker process.
+# ---------------------------------------------------------------------------
+
+
+def _strip_tracebacks(exc: BaseException, depth: int = 8) -> BaseException:
+    """Drop traceback chains before shipping an exception to the parent.
+
+    Tracebacks pin the worker's stack frames, whose locals include the
+    numpy views over the shared-memory segments — keeping them alive
+    would make the post-job ``shm.close()`` raise ``BufferError``.
+    """
+    while exc is not None and depth > 0:
+        exc.__traceback__ = None
+        if exc.__cause__ is not None and exc.__cause__ is not exc.__context__:
+            _strip_tracebacks(exc.__cause__, depth - 1)
+        exc = exc.__context__
+        depth -= 1
+    return None
+
+
+def _worker_run_job(
+    job: dict,
+    providers: dict[bytes, AdaptiveModelProvider],
+    engines: dict[tuple[bytes, int], LaneEngine],
+) -> tuple:
+    """Execute one decode job against its shared-memory segments.
+
+    Returns the reply tuple to send.  Guarantees that no numpy view
+    over the segments survives the call (views and tracebacks are
+    dropped before returning), so the caller can safely close the
+    maps.
+    """
+    words_shm = out_shm = None
+    try:
+        try:
+            key = job["provider_key"]
+            if key is None:
+                # Adaptive providers ship with every job (their
+                # per-index ids have no cheap content key) and are
+                # never cached — a stale id-keyed hit would silently
+                # decode with the wrong model.
+                engine = LaneEngine(job["provider"], job["lanes"])
+            else:
+                if job["provider"] is not None:
+                    providers[key] = job["provider"]
+                engine = engines.get((key, job["lanes"]))
+                if engine is None:
+                    engine = LaneEngine(providers[key], job["lanes"])
+                    engines[(key, job["lanes"])] = engine
+
+            words_shm = _attach_shm(job["words_name"])
+            out_shm = _attach_shm(job["out_name"])
+            words = np.ndarray(
+                (job["num_words"],), dtype=np.uint16, buffer=words_shm.buf
+            )
+            out = np.ndarray(
+                (job["num_symbols"],),
+                dtype=np.dtype(job["out_dtype"]),
+                buffer=out_shm.buf,
+            )
+            try:
+                stats = engine.run(words, job["tasks"], out)
+            finally:
+                # Views must die before the maps close (CPython raises
+                # BufferError on close with exported buffers).
+                del words, out
+            return ("ok", stats)
+        except BaseException as exc:
+            _strip_tracebacks(exc)
+            try:
+                pickle.dumps(exc)
+            except Exception:
+                exc = ParallelismError(f"shard worker failed: {exc!r}")
+            return ("err", exc)
+    finally:
+        for shm in (words_shm, out_shm):
+            if shm is not None:
+                _release_shm(shm, unlink=False)
+
+
+def _worker_main(conn) -> None:
+    """Job loop of one shard worker (runs in a child process).
+
+    State that persists across jobs: decode engines (and their scratch
+    arenas) plus providers, keyed by model fingerprint, so repeat jobs
+    against the same static model ship only task descriptors.
+    """
+    providers: dict[bytes, AdaptiveModelProvider] = {}
+    engines: dict[tuple[bytes, int], LaneEngine] = {}
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            return
+        cmd = msg[0]
+        if cmd == "close":
+            conn.close()
+            return
+        if cmd == "ping":
+            conn.send(("pong",))
+            continue
+        if cmd != "decode":  # pragma: no cover - protocol guard
+            conn.send(("err", ParallelismError(f"unknown command {cmd!r}")))
+            continue
+        reply = _worker_run_job(msg[1], providers, engines)
+        try:
+            conn.send(reply)
+        except (OSError, BrokenPipeError):  # parent went away
+            return
+
+
+# ---------------------------------------------------------------------------
+# Parent-side executor.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Worker:
+    proc: object
+    conn: object
+    known_providers: set
+
+
+class ShardedExecutor:
+    """Persistent pool of shard processes running the fused kernels.
+
+    The executor is provider-agnostic: any decode may be submitted,
+    and workers cache providers/engines by model fingerprint.  It is
+    **not** thread-safe — one dispatching thread at a time (the serve
+    dispatcher, or the caller of
+    :func:`~repro.parallel.executor.decode_with_pool`).
+
+    :param workers: pool size (shards per decode are capped by this).
+    :param start_method: ``multiprocessing`` start method; defaults to
+        ``fork`` where available (fast, no re-import) and ``spawn``
+        elsewhere.  Override with ``REPRO_SHARD_START_METHOD``.
+    :raises ParallelismError: if ``workers < 1`` or the pool cannot
+        start (callers that want the graceful path should check
+        :func:`sharding_available` first).
+    """
+
+    def __init__(self, workers: int, start_method: str | None = None) -> None:
+        if workers < 1:
+            raise ParallelismError(f"workers must be >= 1, got {workers}")
+        if start_method is None:
+            start_method = os.environ.get("REPRO_SHARD_START_METHOD")
+        self.workers = workers
+        self.broken = False
+        self.closed = False
+        self._workers: list[_Worker] = []
+        try:
+            import multiprocessing as mp
+
+            if start_method is None:
+                methods = mp.get_all_start_methods()
+                start_method = "fork" if "fork" in methods else "spawn"
+            ctx = mp.get_context(start_method)
+            for _ in range(workers):
+                parent_conn, child_conn = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_worker_main, args=(child_conn,), daemon=True
+                )
+                proc.start()
+                child_conn.close()
+                self._workers.append(
+                    _Worker(proc=proc, conn=parent_conn, known_providers=set())
+                )
+        except ParallelismError:
+            raise
+        except Exception as exc:
+            self.close()
+            raise ParallelismError(
+                f"could not start shard worker pool: {exc}"
+            ) from exc
+
+    # -- lifecycle -----------------------------------------------------
+
+    def __enter__(self) -> "ShardedExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def close(self) -> None:
+        """Stop every worker (idempotent).  In-flight work is lost."""
+        if self.closed:
+            return
+        self.closed = True
+        for w in self._workers:
+            try:
+                w.conn.send(("close",))
+            except Exception:
+                pass
+        for w in self._workers:
+            try:
+                w.proc.join(timeout=2.0)
+                if w.proc.is_alive():
+                    w.proc.terminate()
+                    w.proc.join(timeout=1.0)
+                if w.proc.is_alive():  # pragma: no cover - last resort
+                    w.proc.kill()
+            except Exception:
+                pass
+            try:
+                w.conn.close()
+            except Exception:
+                pass
+
+    def warm(self) -> None:
+        """Round-trip a ping through every worker (pool health check;
+        benchmarks call this so process startup is outside the timed
+        region).
+
+        :raises ParallelismError: if the pool is closed/broken or a
+            worker does not answer.
+        """
+        self._check_usable()
+        for wid, w in enumerate(self._workers):
+            try:
+                w.conn.send(("ping",))
+            except Exception as exc:
+                self.broken = True
+                raise ParallelismError(
+                    f"shard worker {wid} unreachable"
+                ) from exc
+        for wid, w in enumerate(self._workers):
+            self._recv(wid)
+
+    # -- dispatch ------------------------------------------------------
+
+    def _check_usable(self) -> None:
+        if self.closed:
+            raise ParallelismError("sharded executor is closed")
+        if self.broken:
+            raise ParallelismError(
+                "sharded executor is broken (a worker died); create a "
+                "fresh executor"
+            )
+
+    def _recv(self, wid: int):
+        w = self._workers[wid]
+        while not w.conn.poll(0.05):
+            if not w.proc.is_alive():
+                self.broken = True
+                raise ParallelismError(
+                    f"shard worker {wid} died (exit code "
+                    f"{w.proc.exitcode})"
+                )
+        try:
+            return w.conn.recv()
+        except (EOFError, OSError) as exc:
+            self.broken = True
+            raise ParallelismError(
+                f"shard worker {wid} hung up mid-job"
+            ) from exc
+
+    def _provider_for_wire(
+        self, wid: int, provider: AdaptiveModelProvider
+    ) -> tuple[bytes | None, AdaptiveModelProvider | None]:
+        """``(provider_key, provider-or-None)`` for one worker.
+
+        Static providers are fingerprinted by model content and shipped
+        at most once per worker.  Adaptive providers have positional
+        per-index model ids that no cheap content key covers, so they
+        ship with every job (key ``None``: the worker uses them
+        ephemerally and caches nothing).
+        """
+        if provider.is_static:
+            key = b"s" + provider_fingerprint(provider)
+            known = self._workers[wid].known_providers
+            if key in known:
+                return key, None
+            known.add(key)
+            return key, provider
+        return None, provider
+
+    def _dispatch(
+        self,
+        provider: AdaptiveModelProvider,
+        lanes: int,
+        words: np.ndarray,
+        tasks: list[ThreadTask],
+        num_symbols: int,
+        out_dtype,
+        workers: int,
+        strategy: str,
+    ) -> tuple[np.ndarray, list[EngineStats]]:
+        """Shard ``tasks``, run them in the pool, return (out, stats).
+
+        ``workers`` is the *shard count* (mirroring the thread
+        backend); when it exceeds the pool size, shards are queued
+        round-robin onto the pool's workers and each worker drains its
+        queue in order.
+        """
+        self._check_usable()
+        out_dtype = np.dtype(out_dtype)
+        buckets = assign_tasks(tasks, workers, strategy=strategy)
+        out = np.empty(num_symbols, dtype=out_dtype)
+        if not buckets:
+            return out, []
+
+        words = np.ascontiguousarray(words, dtype=np.uint16)
+        words_shm = _new_shm(words.nbytes)
+        out_shm = _new_shm(num_symbols * out_dtype.itemsize)
+        pool_size = len(self._workers)
+        try:
+            np.ndarray(words.shape, np.uint16, buffer=words_shm.buf)[:] = words
+            for i, bucket in enumerate(buckets):
+                wid = i % pool_size
+                key, wire_provider = self._provider_for_wire(wid, provider)
+                try:
+                    self._workers[wid].conn.send(
+                        (
+                            "decode",
+                            {
+                                "provider_key": key,
+                                "provider": wire_provider,
+                                "lanes": lanes,
+                                "words_name": words_shm.name,
+                                "num_words": len(words),
+                                "out_name": out_shm.name,
+                                "num_symbols": num_symbols,
+                                "out_dtype": out_dtype.str,
+                                "tasks": bucket,
+                            },
+                        )
+                    )
+                except (OSError, BrokenPipeError) as exc:
+                    self.broken = True
+                    raise ParallelismError(
+                        f"shard worker {wid} unreachable"
+                    ) from exc
+            stats: list[EngineStats] = []
+            failure: BaseException | None = None
+            for i in range(len(buckets)):
+                reply = self._recv(i % pool_size)
+                if reply[0] == "ok":
+                    stats.append(reply[1])
+                elif failure is None:
+                    failure = reply[1]
+            if failure is not None:
+                raise failure
+            out[:] = np.ndarray(
+                (num_symbols,), out_dtype, buffer=out_shm.buf
+            )
+            return out, stats
+        finally:
+            _release_shm(words_shm, unlink=True)
+            _release_shm(out_shm, unlink=True)
+
+    # -- public entry points -------------------------------------------
+
+    def decode(
+        self,
+        provider: AdaptiveModelProvider,
+        lanes: int,
+        words: np.ndarray,
+        tasks: list[ThreadTask],
+        num_symbols: int,
+        out_dtype,
+        workers: int | None = None,
+        strategy: str = "cost",
+    ) -> PoolDecodeResult:
+        """Decode ``tasks`` across shard processes.
+
+        Same contract (and bit-identical output) as
+        :func:`repro.parallel.executor.decode_with_pool`: tasks are
+        LPT-balanced into at most ``workers`` shards, every shard runs
+        the fused kernel over the shared word buffer and writes its
+        disjoint commit ranges into the shared output.
+
+        :param workers: shards for this decode (default: pool size).
+        :param strategy: ``"cost"`` (LPT) or ``"round_robin"``.
+        :returns: :class:`~repro.parallel.executor.PoolDecodeResult`
+            with ``backend="process"``.
+        :raises ParallelismError: pool closed/broken, worker crash, or
+            ``workers < 1``.
+        :raises DecodeError: corrupt stream/metadata, re-raised from
+            the worker that hit it.
+        """
+        if workers is None:
+            workers = self.workers
+        if workers < 1:
+            raise ParallelismError(f"workers must be >= 1, got {workers}")
+        out, stats = self._dispatch(
+            provider, lanes, words, tasks, num_symbols, out_dtype,
+            workers, strategy,
+        )
+        return PoolDecodeResult(
+            symbols=out,
+            per_worker_stats=stats,
+            workers=len(stats),
+            backend="process",
+        )
+
+    def run_multi(
+        self,
+        provider: AdaptiveModelProvider,
+        lanes: int,
+        segments: list[StreamSegment],
+        out_dtype=None,
+        workers: int | None = None,
+        strategy: str = "cost",
+    ) -> MultiRunResult:
+        """Sharded counterpart of :func:`repro.parallel.fused.fused_run_multi`.
+
+        Segments are rebased onto one concatenated virtual stream
+        (:func:`~repro.parallel.fused.fuse_segments`, deduping shared
+        word buffers), then the fused tasks are sharded across the
+        pool.  Output is bit-identical to the single-process fused
+        path; stats are aggregated via :func:`combine_stats`.
+
+        :raises DecodeError: multi-segment fusion with a non-static
+            provider (same rule as ``fused_run_multi``), or a corrupt
+            stream.
+        :raises ParallelismError: pool closed/broken or worker crash.
+        """
+        if len(segments) > 1 and not provider.is_static:
+            from repro.errors import DecodeError
+
+            raise DecodeError(
+                "multi-segment fusion requires a static model provider; "
+                "adaptive-model decodes must be dispatched individually"
+            )
+        if out_dtype is None:
+            out_dtype = provider.out_dtype
+        words, tasks, slices, total = fuse_segments(segments)
+        out, stats = self._dispatch(
+            provider, lanes, words, tasks, total, out_dtype,
+            workers or self.workers, strategy,
+        )
+        combined = combine_stats(stats)
+        combined.tasks = len(tasks)
+        return MultiRunResult(out=out, slices=slices, stats=combined)
+
+
+# ---------------------------------------------------------------------------
+# Module-level default pool (lazy, grown on demand, closed at exit).
+# ---------------------------------------------------------------------------
+
+_default: ShardedExecutor | None = None
+
+#: ceiling on the default pool's process count — shard counts above it
+#: over-subscribe (round-robin queueing), they never fork more workers.
+POOL_CAP = max(8, os.cpu_count() or 1)
+
+
+def default_executor(workers: int) -> ShardedExecutor | None:
+    """The shared process pool behind ``decode_with_pool(backend="process")``.
+
+    Lazily created, kept across calls (pool startup is the expensive
+    part), regrown when a caller asks for more workers than it has
+    (up to :data:`POOL_CAP` processes — larger shard counts
+    over-subscribe the pool), and replaced if broken.  Returns ``None``
+    when sharding is unavailable on this host — callers fall back to
+    the thread backend.
+    """
+    global _default
+    if not sharding_available():
+        return None
+    size = min(workers, POOL_CAP)
+    if _default is not None and (_default.broken or _default.closed):
+        _default.close()
+        _default = None
+    if _default is None or _default.workers < size:
+        if _default is not None:
+            _default.close()
+        try:
+            _default = ShardedExecutor(size)
+        except ParallelismError:
+            return None
+    return _default
+
+
+@atexit.register
+def _close_default() -> None:  # pragma: no cover - interpreter exit
+    global _default
+    if _default is not None:
+        _default.close()
+        _default = None

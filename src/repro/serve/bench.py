@@ -24,6 +24,7 @@ import numpy as np
 from repro.core.api import recoil_decompress
 from repro.data import text_surrogate
 from repro.serve.service import RecoilService, ServiceConfig
+from repro.stats.timing import measure_backend_shootout
 
 #: client classes cycled across concurrent requests (advertised
 #: decoder capacities, as in the paper's content-delivery scenario).
@@ -46,6 +47,8 @@ def run_serve_bench(
     num_splits: int = 256,
     repeats: int = 2,
     seed: int = 11,
+    backend: str = "fused",
+    workers: int = 8,
 ) -> dict:
     """Benchmark batched vs. unbatched serving; returns a JSON-able dict.
 
@@ -56,12 +59,30 @@ def run_serve_bench(
       served (shrunk) container bytes;
     - ``batched``: submitted concurrently to a :class:`RecoilService`
       and fused by the request batcher into wide-lane kernel calls.
+
+    ``backend`` selects the service's batch-execution backend for the
+    client sweep (``"fused"``, ``"thread"``, or ``"process"`` —
+    :class:`~repro.serve.service.ServiceConfig.decode_backend`).  Two
+    extra sections compare the fan-out backends at ``workers`` workers
+    on the max-clients batch: ``backends`` times the end-to-end
+    service with each backend, and ``backend_shootout`` measures the
+    decode fan-out itself (thread vs process on the identical fused
+    task set — docs/BENCHMARKS.md); CI gates on the shootout's
+    ``speedup_process_vs_thread``.
     """
     data = text_surrogate(symbols, target_entropy=5.29, seed=seed)
     out_bytes = data.nbytes
 
+    # Fork the shared shard pool NOW, while this process is still
+    # single-threaded — the shootout below runs inside the service
+    # context, where the dispatcher thread makes forking unsafe.
+    from repro.parallel import shards
+
+    shards.default_executor(workers)
+
     results: dict[str, dict] = {}
-    with RecoilService(config=ServiceConfig()) as service:
+    config = ServiceConfig(decode_backend=backend, decode_workers=workers)
+    with RecoilService(config=config) as service:
         service.put_asset("asset", data, num_splits=num_splits)
         served = {c: service.serve("asset", c) for c in set(capacities)}
 
@@ -105,6 +126,39 @@ def run_serve_bench(
 
         snapshot = service.metrics_snapshot()
 
+        # -- fan-out backends on the max-clients batch -----------------
+        max_caps = [
+            capacities[i % len(capacities)] for i in range(max(clients))
+        ]
+        shootout = _serve_backend_shootout(
+            service, max_caps, data, workers, repeats
+        )
+
+    backends: dict[str, dict] = {}
+    for fan_backend in ("thread", "process"):
+        cfg = ServiceConfig(
+            decode_backend=fan_backend, decode_workers=workers
+        )
+        with RecoilService(config=cfg) as fan_service:
+            fan_service.put_asset("asset", data, num_splits=num_splits)
+
+            def fan_batched() -> None:
+                requests = [
+                    fan_service.submit("asset", c) for c in max_caps
+                ]
+                for request in requests:
+                    request.result(600)
+
+            fan_batched()  # warm (shrink cache, shard provider ship)
+            t = _best_of(fan_batched, repeats)
+            backends[fan_backend] = {
+                "effective_backend": fan_service.decode_backend,
+                "batched_s": round(t, 4),
+                "batched_mb_s": round(
+                    len(max_caps) * out_bytes / t / 1e6, 2
+                ),
+            }
+
     max_clients = str(max(clients))
     return {
         "workload": {
@@ -113,13 +167,57 @@ def run_serve_bench(
             "num_splits": num_splits,
             "client_capacities": list(capacities),
             "repeats": repeats,
+            "backend": backend,
+            "fanout_workers": workers,
         },
         "clients": results,
         "speedup_batched_vs_unbatched_max_clients": results[max_clients][
             "speedup"
         ],
+        "backends": backends,
+        "backend_shootout": shootout,
+        "speedup_process_vs_thread": shootout["speedup_process_vs_thread"],
         "service_metrics": snapshot,
     }
+
+
+def _serve_backend_shootout(
+    service: RecoilService,
+    caps: list[int],
+    data: np.ndarray,
+    workers: int,
+    repeats: int,
+) -> dict:
+    """Thread vs process fan-out on the service's own fused batch.
+
+    Builds exactly the task set the dispatcher would fuse for ``caps``
+    concurrent clients (shrunk variants rebased onto one virtual
+    stream) and hands it to
+    :func:`repro.stats.timing.measure_backend_shootout`.
+    """
+    from repro.parallel.fused import fuse_segments
+    from repro.serve.batcher import DecodeRequest
+
+    variants = [service.store.shrunk("asset", c)[0] for c in caps]
+    segments = [
+        DecodeRequest(v.asset, v).segment() for v in variants
+    ]
+    words, tasks, _, total = fuse_segments(segments)
+    first = variants[0].asset
+    expected = np.concatenate([data] * len(caps)).astype(
+        first.out_dtype, copy=False
+    )
+    return measure_backend_shootout(
+        first.provider,
+        first.lanes,
+        words,
+        tasks,
+        total,
+        first.out_dtype,
+        workers=workers,
+        repeats=repeats,
+        expected=expected,
+    )
 
 
 def render_table(result: dict) -> str:
@@ -139,4 +237,15 @@ def render_table(result: dict) -> str:
         f"{m['batches']['largest_requests']} requests; shrink-cache "
         f"hit rate {m['shrink']['hit_rate']:.0%}"
     )
+    shootout = result.get("backend_shootout")
+    if shootout:
+        lines.append(
+            f"fan-out at {shootout['workers']} workers (host has "
+            f"{shootout['host_cpus']} CPUs): thread "
+            f"{shootout['thread_s'] * 1000:.1f} ms, process "
+            f"{shootout['process_s'] * 1000:.1f} ms measured, "
+            f"shard makespan {shootout['shard_makespan_s'] * 1000:.1f} "
+            f"ms -> {shootout['speedup_process_vs_thread']:.2f}x "
+            "process vs thread"
+        )
     return "\n".join(lines)

@@ -31,18 +31,22 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import AdmissionError, ServeError
+from repro.errors import AdmissionError, ParallelismError, ServeError
 from repro.parallel.buffers import ScratchArena
-from repro.parallel.fused import fused_run_multi
+from repro.parallel.executor import decode_with_pool
+from repro.parallel.fused import MultiRunResult, fuse_segments, fused_run_multi
 from repro.rans.model import SymbolModel
 from repro.serve.batcher import BatchPolicy, DecodeRequest, RequestBatcher
 from repro.serve.metrics import ServeMetrics
 from repro.serve.store import AssetStore, StoredAsset
 
+#: decode backends a service dispatcher can fan batches out to.
+DECODE_BACKENDS = ("fused", "thread", "process")
+
 
 @dataclass(frozen=True)
 class ServiceConfig:
-    """Tunables of one service instance (see DESIGN.md §12)."""
+    """Tunables of one service instance (see DESIGN.md §12, §14)."""
 
     #: how long the oldest pending request may wait for companions.
     batch_window_s: float = 0.002
@@ -60,6 +64,26 @@ class ServiceConfig:
     batching: bool = True
     #: LRU capacity of the shrink cache (entries).
     shrink_cache_entries: int = 256
+    #: how a fused batch executes: ``"fused"`` — one in-process kernel
+    #: call on the dispatcher thread (width-optimal for one core);
+    #: ``"thread"`` — fan the batch across ``decode_workers`` OS
+    #: threads; ``"process"`` — fan it across ``decode_workers`` shard
+    #: processes (DESIGN.md §14; falls back to ``"thread"`` when
+    #: shared memory is unavailable).
+    decode_backend: str = "fused"
+    #: worker count for the ``"thread"``/``"process"`` backends.
+    decode_workers: int = 8
+
+    def __post_init__(self) -> None:
+        if self.decode_backend not in DECODE_BACKENDS:
+            raise ServeError(
+                f"unknown decode backend {self.decode_backend!r}; "
+                f"expected one of {DECODE_BACKENDS}"
+            )
+        if self.decode_workers < 1:
+            raise ServeError(
+                f"decode_workers must be >= 1, got {self.decode_workers}"
+            )
 
     def batch_policy(self) -> BatchPolicy:
         if not self.batching:
@@ -88,12 +112,42 @@ class RecoilService:
         self._batcher = RequestBatcher(self.config.batch_policy())
         self._inflight_symbols = 0
         self._running = True
+        # The shard pool (when requested) starts BEFORE the dispatcher
+        # thread: forking from a single-threaded process is the only
+        # portable-safe moment.  Unavailable shared memory degrades to
+        # the thread backend (``decode_backend`` reports the truth).
+        self._backend = self.config.decode_backend
+        self._shards = None
+        if self._backend == "process":
+            from repro.parallel import shards as shards_mod
+
+            if shards_mod.sharding_available():
+                try:
+                    self._shards = shards_mod.ShardedExecutor(
+                        self.config.decode_workers
+                    )
+                except ParallelismError:
+                    self._shards = None
+            if self._shards is None:
+                self._backend = "thread"
         self._dispatcher = threading.Thread(
             target=self._dispatch_loop,
             name="recoil-serve-dispatch",
             daemon=True,
         )
         self._dispatcher.start()
+
+    @property
+    def decode_backend(self) -> str:
+        """Backend batches actually execute on.
+
+        Reports ``"thread"`` after a graceful fallback from an
+        unavailable ``"process"`` request — including mid-life, when a
+        shard worker dies and the broken pool degrades the service to
+        the thread fan-out (re-forking from the multi-threaded
+        dispatcher is not safe, so the degradation is permanent for
+        this service instance; monitor this property)."""
+        return self._backend
 
     # -- lifecycle -----------------------------------------------------
 
@@ -104,13 +158,20 @@ class RecoilService:
         self.close()
 
     def close(self) -> None:
-        """Stop accepting requests and fail anything still pending."""
+        """Stop accepting requests and fail anything still pending.
+
+        Idempotent.  Joins the dispatcher thread, stops the shard pool
+        (process backend), and fails queued requests with
+        :class:`~repro.errors.ServeError`.
+        """
         with self._cond:
             if not self._running:
                 return
             self._running = False
             self._cond.notify_all()
         self._dispatcher.join()
+        if self._shards is not None:
+            self._shards.close()
         with self._cond:
             leftovers = self._batcher.drain()
             self._inflight_symbols = 0
@@ -133,7 +194,20 @@ class RecoilService:
         quant_bits: int | None = None,
         model: SymbolModel | None = None,
     ) -> StoredAsset:
-        """Encode ``data`` once (at max parallelism) and store it."""
+        """Encode ``data`` once (at max parallelism) and store it.
+
+        :param name: asset name (re-putting a name replaces the asset
+            and invalidates its cached shrinks).
+        :param data: symbol array to compress.
+        :param num_splits: decoder parallelism to encode metadata for
+            (default: the store's ``default_num_splits``).
+        :param quant_bits: probability quantization level ``n``.
+        :param model: explicit symbol model (default: fitted to
+            ``data`` and embedded in the container).
+        :returns: the stored asset with its parsed container.
+        :raises EncodeError: empty/invalid data or ``num_splits < 1``.
+        :raises ModelError: a malformed explicit model.
+        """
         return self.store.put(
             name,
             data,
@@ -143,13 +217,27 @@ class RecoilService:
         )
 
     def put_container(self, name: str, blob: bytes, provider=None):
+        """Store an already-encoded container under ``name``.
+
+        :param provider: model provider for containers whose model
+            travels out of band (adaptive encodes).
+        :returns: the stored :class:`~repro.serve.store.StoredAsset`.
+        :raises ContainerError: malformed container bytes.
+        :raises MetadataError: a model is required but missing.
+        """
         return self.store.put_container(name, blob, provider=provider)
 
     # -- serving (bytes on the wire) -----------------------------------
 
     def serve(self, name: str, capacity: int) -> bytes:
         """Container bytes shrunk to ``capacity`` (the per-request
-        real-time operation of §3.3; cached)."""
+        real-time operation of §3.3; cached).
+
+        :returns: servable container bytes (same payload as the
+            master, combined metadata).
+        :raises ServeError: unknown asset.
+        :raises MetadataError: ``capacity < 1``.
+        """
         variant, hit = self.store.shrunk(name, capacity)
         self.metrics.record_shrink(len(variant.blob), cache_hit=hit)
         return variant.blob
@@ -160,8 +248,17 @@ class RecoilService:
         """Enqueue a decompress request; returns a waitable handle.
 
         Blocks (backpressure) while the in-flight work bound is
-        saturated; raises :class:`AdmissionError` after the admission
-        timeout.
+        saturated.
+
+        :param name: stored asset to decode.
+        :param capacity: the client's advertised decoder parallelism
+            (selects the shrunk variant whose tasks the kernel runs).
+        :returns: a handle whose :meth:`~DecodeRequest.result` blocks
+            for the decoded symbols.
+        :raises ServeError: unknown asset, or the service is closed.
+        :raises MetadataError: ``capacity < 1``.
+        :raises AdmissionError: the in-flight bound stayed saturated
+            past ``admission_timeout_s``.
         """
         if not self._running:
             raise ServeError("service closed")
@@ -208,10 +305,24 @@ class RecoilService:
         self, name: str, capacity: int, timeout: float | None = None
     ) -> np.ndarray:
         """Decode asset ``name`` as a ``capacity``-thread client would,
-        through the batched service path."""
+        through the batched service path.
+
+        :param timeout: seconds to wait for the batch to complete
+            (``None`` = forever).
+        :returns: the decoded symbol array (bit-identical to
+            :func:`repro.core.api.recoil_decompress` on the served
+            bytes).
+        :raises ServeError: unknown asset or closed service.
+        :raises AdmissionError: admission timed out (backpressure).
+        :raises DecodeError: the stored container failed to decode.
+        :raises TimeoutError: ``timeout`` elapsed first.
+        """
         return self.submit(name, capacity).result(timeout)
 
     def metrics_snapshot(self) -> dict:
+        """JSON-able service counters (requests, batches, shrink cache,
+        admission) plus store statistics — see
+        :class:`repro.serve.metrics.ServeMetrics`."""
         snap = self.metrics.snapshot()
         snap["store"] = {
             "assets": len(self.store),
@@ -250,19 +361,55 @@ class RecoilService:
                         self._inflight_symbols -= req.cost_symbols
                     self._cond.notify_all()
 
-    def _execute(
+    def _run_batch(
         self, batch: list[DecodeRequest], arena: ScratchArena
-    ) -> None:
+    ) -> MultiRunResult:
+        """Execute one fused batch on the configured backend.
+
+        ``"fused"`` dispatches a single in-process kernel call;
+        ``"thread"``/``"process"`` rebase the batch onto one virtual
+        stream (:func:`~repro.parallel.fused.fuse_segments`) and fan
+        the fused tasks across ``decode_workers`` — the same LPT shard
+        plan either way, bit-identical output on every path.
+        """
         first = batch[0].asset
-        t0 = time.perf_counter()
-        try:
-            result = fused_run_multi(
+        segments = [req.segment() for req in batch]
+        if self._backend == "fused":
+            return fused_run_multi(
                 first.provider,
                 first.lanes,
-                [req.segment() for req in batch],
+                segments,
                 arena,
                 out_dtype=first.out_dtype,
             )
+        from repro.parallel.shards import combine_stats
+
+        words, tasks, slices, total = fuse_segments(segments)
+        pooled = decode_with_pool(
+            first.provider,
+            first.lanes,
+            words,
+            tasks,
+            total,
+            first.out_dtype,
+            workers=self.config.decode_workers,
+            backend=self._backend,
+            executor=self._shards,
+        )
+        if tasks and pooled.backend != self._backend:
+            # A shard worker died and decode_with_pool fell back to
+            # threads: make the degradation visible to operators.
+            self._backend = pooled.backend
+        stats = combine_stats(pooled.per_worker_stats)
+        stats.tasks = len(tasks)
+        return MultiRunResult(out=pooled.symbols, slices=slices, stats=stats)
+
+    def _execute(
+        self, batch: list[DecodeRequest], arena: ScratchArena
+    ) -> None:
+        t0 = time.perf_counter()
+        try:
+            result = self._run_batch(batch, arena)
         except Exception as exc:  # fail the whole batch, keep serving
             elapsed = time.perf_counter() - t0
             for req in batch:

@@ -1,4 +1,11 @@
-"""Tests for real-thread pooled decoding."""
+"""Tests for pooled decoding on real threads and shard processes.
+
+One parametrized suite covers both backends of
+:func:`repro.parallel.executor.decode_with_pool` — every behaviour the
+thread pool honors (bit-identical output, stats coverage, edge cases:
+zero tasks, a single task, more workers than tasks) must hold verbatim
+for the sharded process backend (DESIGN.md §14).
+"""
 
 from __future__ import annotations
 
@@ -9,6 +16,12 @@ from repro.core.decoder import build_thread_tasks
 from repro.core.encoder import RecoilEncoder
 from repro.errors import ParallelismError
 from repro.parallel.executor import decode_with_pool
+from repro.parallel.shards import sharding_available
+
+needs_shm = pytest.mark.skipif(
+    not sharding_available(), reason="no shared memory on this host"
+)
+BACKENDS = ["thread", pytest.param("process", marks=needs_shm)]
 
 
 @pytest.fixture(scope="module")
@@ -23,59 +36,100 @@ def tasks(encoded):
     )
 
 
+@pytest.fixture(scope="module")
+def single_task(encoded):
+    md = encoded.metadata.combine(1)
+    return build_thread_tasks(md, len(encoded.words), encoded.final_states)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
 class TestPoolDecode:
     @pytest.mark.parametrize("workers", [1, 2, 4, 7])
-    def test_roundtrip(self, encoded, tasks, provider11, skewed_bytes, workers):
+    def test_roundtrip(
+        self, encoded, tasks, provider11, skewed_bytes, workers, backend
+    ):
         res = decode_with_pool(
             provider11, 32, encoded.words, tasks,
-            encoded.num_symbols, np.uint8, workers,
+            encoded.num_symbols, np.uint8, workers, backend=backend,
         )
         assert np.array_equal(res.symbols, skewed_bytes)
         assert res.workers == min(workers, len(tasks))
+        assert res.backend == backend
 
-    def test_stats_cover_all_work(self, encoded, tasks, provider11):
+    def test_stats_cover_all_work(self, encoded, tasks, provider11, backend):
         res = decode_with_pool(
             provider11, 32, encoded.words, tasks,
-            encoded.num_symbols, np.uint8, 4,
+            encoded.num_symbols, np.uint8, 4, backend=backend,
         )
         assert len(res.per_worker_stats) == res.workers
         assert res.total_symbols_decoded >= encoded.num_symbols
 
     def test_more_workers_than_tasks(self, encoded, tasks, provider11,
-                                     skewed_bytes):
+                                     skewed_bytes, backend):
         res = decode_with_pool(
             provider11, 32, encoded.words, tasks,
-            encoded.num_symbols, np.uint8, 100,
+            encoded.num_symbols, np.uint8, 100, backend=backend,
         )
         assert res.workers == len(tasks)
         assert np.array_equal(res.symbols, skewed_bytes)
 
-    def test_zero_workers_rejected(self, encoded, tasks, provider11):
+    def test_single_task(self, encoded, single_task, provider11,
+                         skewed_bytes, backend):
+        assert len(single_task) == 1
+        res = decode_with_pool(
+            provider11, 32, encoded.words, single_task,
+            encoded.num_symbols, np.uint8, 4, backend=backend,
+        )
+        assert res.workers == 1
+        assert np.array_equal(res.symbols, skewed_bytes)
+
+    def test_zero_tasks(self, encoded, provider11, backend):
+        res = decode_with_pool(
+            provider11, 32, encoded.words, [], 0, np.uint8, 4,
+            backend=backend,
+        )
+        assert res.workers == 0
+        assert res.per_worker_stats == []
+        assert res.symbols.shape == (0,)
+
+    def test_zero_workers_rejected(self, encoded, tasks, provider11, backend):
         with pytest.raises(ParallelismError):
             decode_with_pool(
                 provider11, 32, encoded.words, tasks,
-                encoded.num_symbols, np.uint8, 0,
+                encoded.num_symbols, np.uint8, 0, backend=backend,
             )
 
-    def test_negative_workers_rejected(self, encoded, tasks, provider11):
+    def test_negative_workers_rejected(self, encoded, tasks, provider11,
+                                       backend):
         with pytest.raises(ParallelismError):
             decode_with_pool(
                 provider11, 32, encoded.words, tasks,
-                encoded.num_symbols, np.uint8, -3,
+                encoded.num_symbols, np.uint8, -3, backend=backend,
             )
 
     @pytest.mark.parametrize("workers", [1, 3, 8])
     def test_round_robin_strategy_roundtrip(
-        self, encoded, tasks, provider11, skewed_bytes, workers
+        self, encoded, tasks, provider11, skewed_bytes, workers, backend
     ):
         res = decode_with_pool(
             provider11, 32, encoded.words, tasks,
             encoded.num_symbols, np.uint8, workers,
-            strategy="round_robin",
+            strategy="round_robin", backend=backend,
         )
         assert np.array_equal(res.symbols, skewed_bytes)
         assert res.workers == min(workers, len(tasks))
 
+    def test_unknown_strategy_rejected(self, encoded, tasks, provider11,
+                                       backend):
+        with pytest.raises(ValueError):
+            decode_with_pool(
+                provider11, 32, encoded.words, tasks,
+                encoded.num_symbols, np.uint8, 2,
+                strategy="alphabetical", backend=backend,
+            )
+
+
+class TestBackendSelection:
     def test_round_robin_deals_cyclically(self, tasks):
         from repro.parallel.costmodel import assign_tasks
 
@@ -85,10 +139,32 @@ class TestPoolDecode:
         ]
         assert buckets[1][0] is tasks[1]
 
-    def test_unknown_strategy_rejected(self, encoded, tasks, provider11):
-        with pytest.raises(ValueError):
+    def test_unknown_backend_rejected(self, encoded, tasks, provider11):
+        with pytest.raises(ParallelismError):
             decode_with_pool(
                 provider11, 32, encoded.words, tasks,
-                encoded.num_symbols, np.uint8, 2,
-                strategy="alphabetical",
+                encoded.num_symbols, np.uint8, 2, backend="gpu",
             )
+
+    @needs_shm
+    def test_sharded_strategy_alias(self, encoded, tasks, provider11,
+                                    skewed_bytes):
+        res = decode_with_pool(
+            provider11, 32, encoded.words, tasks,
+            encoded.num_symbols, np.uint8, 4, strategy="sharded",
+        )
+        assert res.backend == "process"
+        assert np.array_equal(res.symbols, skewed_bytes)
+
+    def test_process_falls_back_without_shared_memory(
+        self, encoded, tasks, provider11, skewed_bytes, monkeypatch
+    ):
+        from repro.parallel import shards
+
+        monkeypatch.setattr(shards, "_AVAILABLE", False)
+        res = decode_with_pool(
+            provider11, 32, encoded.words, tasks,
+            encoded.num_symbols, np.uint8, 4, backend="process",
+        )
+        assert res.backend == "thread"
+        assert np.array_equal(res.symbols, skewed_bytes)

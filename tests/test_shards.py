@@ -1,0 +1,288 @@
+"""Differential and lifecycle tests for the sharded process executor.
+
+The hard requirement of DESIGN.md §14: every sharded decode is
+bit-identical to the single-process fused path, across worker counts,
+ragged shard plans, multi-segment fusion, and adaptive models — and a
+worker crash must fail cleanly (no leaked shared-memory segments, no
+wedged pool).
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.decoder import RecoilDecoder, build_thread_tasks
+from repro.core.encoder import RecoilEncoder
+from repro.errors import DecodeError, ParallelismError, ServeError
+from repro.parallel.buffers import ScratchArena
+from repro.parallel.fused import StreamSegment, fused_run_multi
+from repro.parallel.shards import (
+    _SHM_PREFIX,
+    ShardedExecutor,
+    combine_stats,
+    sharding_available,
+)
+from repro.rans.adaptive import IndexedModelProvider, StaticModelProvider
+from repro.rans.model import SymbolModel
+
+pytestmark = pytest.mark.skipif(
+    not sharding_available(), reason="no shared memory on this host"
+)
+
+
+def _leaked_segments() -> list[str]:
+    shm_dir = "/dev/shm"
+    if not os.path.isdir(shm_dir):
+        return []
+    return [f for f in os.listdir(shm_dir) if f.startswith(_SHM_PREFIX)]
+
+
+@pytest.fixture(scope="module")
+def executor():
+    with ShardedExecutor(8) as ex:
+        ex.warm()
+        yield ex
+
+
+@pytest.fixture(scope="module")
+def encoded(skewed_bytes, model11):
+    return RecoilEncoder(model11).encode(skewed_bytes, num_threads=24)
+
+
+class TestShardedDecode:
+    @pytest.mark.parametrize("workers", [1, 2, 8])
+    @pytest.mark.parametrize("combine", [7, 24])  # 7 => ragged plan
+    def test_bit_identical_to_fused(
+        self, executor, encoded, provider11, skewed_bytes, workers, combine
+    ):
+        md = encoded.metadata.combine(combine)
+        tasks = build_thread_tasks(
+            md, len(encoded.words), encoded.final_states
+        )
+        reference = RecoilDecoder(provider11).decode(
+            encoded.words, encoded.final_states, md
+        )
+        res = executor.decode(
+            provider11, 32, encoded.words, tasks,
+            encoded.num_symbols, np.uint8, workers=workers,
+        )
+        assert np.array_equal(res.symbols, reference.symbols)
+        assert np.array_equal(res.symbols, skewed_bytes)
+        assert res.workers == min(workers, len(tasks))
+        assert res.backend == "process"
+
+    def test_stats_match_single_process(
+        self, executor, encoded, provider11
+    ):
+        tasks = build_thread_tasks(
+            encoded.metadata, len(encoded.words), encoded.final_states
+        )
+        res = executor.decode(
+            provider11, 32, encoded.words, tasks,
+            encoded.num_symbols, np.uint8, workers=4,
+        )
+        combined = combine_stats(res.per_worker_stats)
+        assert combined.tasks == len(tasks)
+        assert combined.symbols_decoded >= encoded.num_symbols
+
+    def test_adaptive_provider_round_trip(self, executor):
+        r = np.random.default_rng(5)
+        payload = np.minimum(
+            np.floor(r.exponential(9.0, 6_000)), 255
+        ).astype(np.uint8)
+        sym = np.arange(256, dtype=np.float64)
+        models = [
+            SymbolModel.from_counts(np.exp(-sym / s) * 1_000 + 1, 10)
+            for s in (4.0, 12.0, 40.0)
+        ]
+        ids = (np.arange(len(payload)) // 7) % 3
+        provider = IndexedModelProvider(models, ids)
+        enc = RecoilEncoder(provider).encode(payload, num_threads=4)
+        tasks = build_thread_tasks(
+            enc.metadata, len(enc.words), enc.final_states
+        )
+        res = executor.decode(
+            provider, 32, enc.words, tasks, enc.num_symbols,
+            provider.out_dtype, workers=2,
+        )
+        assert np.array_equal(res.symbols, payload)
+
+    def test_zero_tasks(self, executor, encoded, provider11):
+        res = executor.decode(
+            provider11, 32, encoded.words, [], 0, np.uint8
+        )
+        assert res.workers == 0
+        assert res.symbols.shape == (0,)
+
+    def test_corrupt_metadata_raises_decode_error(
+        self, executor, encoded, provider11
+    ):
+        from dataclasses import replace
+
+        tasks = build_thread_tasks(
+            encoded.metadata, len(encoded.words), encoded.final_states
+        )
+        bad = [replace(tasks[0], start_pos=len(encoded.words) + 5)]
+        with pytest.raises(DecodeError):
+            executor.decode(
+                provider11, 32, encoded.words, bad,
+                encoded.num_symbols, np.uint8,
+            )
+        assert not executor.broken  # a decode error is not a crash
+        assert _leaked_segments() == []
+
+
+class TestRunMulti:
+    def test_matches_fused_run_multi(
+        self, executor, provider11, model11, skewed_bytes
+    ):
+        payloads = [
+            skewed_bytes[:9_000],
+            skewed_bytes[20_000:24_000],
+            skewed_bytes[30_000:45_000],
+        ]
+        segments = []
+        for p in payloads:
+            enc = RecoilEncoder(model11).encode(p, num_threads=6)
+            tasks = build_thread_tasks(
+                enc.metadata, len(enc.words), enc.final_states
+            )
+            segments.append(
+                StreamSegment(
+                    words=enc.words, tasks=tasks, num_symbols=len(p)
+                )
+            )
+        reference = fused_run_multi(
+            provider11, 32, segments, ScratchArena(), out_dtype=np.uint8
+        )
+        res = executor.run_multi(
+            provider11, 32, segments, out_dtype=np.uint8
+        )
+        assert np.array_equal(res.out, reference.out)
+        assert res.slices == reference.slices
+        for seg_out, payload in zip(res.segment_outputs(), payloads):
+            assert np.array_equal(seg_out, payload)
+        assert res.stats.tasks == reference.stats.tasks
+
+    def test_multi_segment_adaptive_rejected(self, executor):
+        sym = np.arange(256, dtype=np.float64)
+        models = [
+            SymbolModel.from_counts(np.exp(-sym / s) * 100 + 1, 10)
+            for s in (9.0, 30.0)
+        ]
+        provider = IndexedModelProvider(
+            models, np.zeros(10, dtype=np.int64)
+        )
+        seg = StreamSegment(
+            words=np.zeros(4, np.uint16), tasks=[], num_symbols=0
+        )
+        with pytest.raises(DecodeError):
+            executor.run_multi(provider, 32, [seg, seg])
+
+
+class TestLifecycle:
+    def test_worker_crash_cleanup(self, encoded, provider11, skewed_bytes):
+        tasks = build_thread_tasks(
+            encoded.metadata, len(encoded.words), encoded.final_states
+        )
+        with ShardedExecutor(2) as ex:
+            ex.warm()
+            ex._workers[1].proc.terminate()
+            ex._workers[1].proc.join(timeout=5)
+            with pytest.raises(ParallelismError):
+                ex.decode(
+                    provider11, 32, encoded.words, tasks,
+                    encoded.num_symbols, np.uint8,
+                )
+            assert ex.broken
+            # Broken pools refuse further work instead of hanging.
+            with pytest.raises(ParallelismError):
+                ex.decode(
+                    provider11, 32, encoded.words, tasks,
+                    encoded.num_symbols, np.uint8,
+                )
+        # The parent unlinked every segment it created for the job.
+        assert _leaked_segments() == []
+
+    def test_default_executor_replaces_broken_pool(self):
+        from repro.parallel import shards
+
+        pool = shards.default_executor(2)
+        assert pool is not None
+        pool.broken = True
+        fresh = shards.default_executor(2)
+        assert fresh is not None and not fresh.broken
+        assert fresh is not pool
+
+    def test_close_is_idempotent_and_final(self, encoded, provider11):
+        ex = ShardedExecutor(1)
+        ex.close()
+        ex.close()
+        with pytest.raises(ParallelismError):
+            ex.decode(provider11, 32, encoded.words, [], 0, np.uint8)
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ParallelismError):
+            ShardedExecutor(0)
+
+
+class TestServeBackend:
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_service_round_trip(self, backend):
+        from repro.serve import RecoilService, ServiceConfig
+
+        r = np.random.default_rng(23)
+        data = np.minimum(np.floor(r.exponential(11.0, 30_000)), 255).astype(
+            np.uint8
+        )
+        cfg = ServiceConfig(decode_backend=backend, decode_workers=4)
+        with RecoilService(config=cfg) as svc:
+            assert svc.decode_backend == backend
+            svc.put_asset("a", data, num_splits=64)
+            requests = [svc.submit("a", c) for c in (1, 4, 16, 4, 1)]
+            for req in requests:
+                assert np.array_equal(req.result(120), data)
+
+    def test_invalid_backend_config_rejected(self):
+        from repro.serve import ServiceConfig
+
+        with pytest.raises(ServeError):
+            ServiceConfig(decode_backend="quantum")
+        with pytest.raises(ServeError):
+            ServiceConfig(decode_workers=0)
+
+    def test_worker_crash_degrades_service_visibly(self):
+        from repro.serve import RecoilService, ServiceConfig
+
+        r = np.random.default_rng(29)
+        data = np.minimum(np.floor(r.exponential(11.0, 20_000)), 255).astype(
+            np.uint8
+        )
+        cfg = ServiceConfig(decode_backend="process", decode_workers=2)
+        with RecoilService(config=cfg) as svc:
+            svc.put_asset("a", data, num_splits=32)
+            assert np.array_equal(svc.decompress("a", 8), data)
+            assert svc.decode_backend == "process"
+            for w in svc._shards._workers:
+                w.proc.terminate()
+                w.proc.join(timeout=5)
+            # The in-flight batch that discovers the crash fails...
+            with pytest.raises(ParallelismError):
+                svc.decompress("a", 8)
+            # ...then the service degrades to threads, keeps serving,
+            # and reports the truth.
+            assert np.array_equal(svc.decompress("a", 8), data)
+            assert svc.decode_backend == "thread"
+        assert _leaked_segments() == []
+
+    def test_process_service_falls_back_gracefully(self, monkeypatch):
+        from repro.parallel import shards
+        from repro.serve import RecoilService, ServiceConfig
+
+        monkeypatch.setattr(shards, "_AVAILABLE", False)
+        cfg = ServiceConfig(decode_backend="process", decode_workers=2)
+        with RecoilService(config=cfg) as svc:
+            assert svc.decode_backend == "thread"

@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Documentation checks: links resolve, code blocks execute.
+
+Two guarantees for the user-facing docs (README.md, docs/*.md, and
+DESIGN.md):
+
+1. every intra-repo markdown link points at a file that exists
+   (external ``http(s)``/``mailto`` links and pure ``#anchor`` links
+   are skipped; ``#fragment`` suffixes are stripped before checking);
+2. every fenced ````` ```python ````` block in README.md and docs/
+   runs to completion in a fresh interpreter — the quickstart smoke.
+   Shell blocks (````` ```bash `````) are documentation of commands
+   with side effects and are *not* executed.
+
+Run from anywhere inside the repo::
+
+    python tools/check_docs.py [--skip-exec]
+
+Exit status 0 on success, 1 with a findings list otherwise.  CI runs
+this as the ``docs`` job; ``tests/test_docs.py`` runs the link check
+inside the tier-1 suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import subprocess
+import sys
+import tempfile
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: files whose links are checked.
+LINKED_DOCS = ("README.md", "DESIGN.md", "docs")
+#: files whose ```python blocks are executed.
+EXECUTABLE_DOCS = ("README.md", "docs")
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_FENCE = re.compile(r"^```(\w*)\s*$")
+
+
+def _doc_files(roots) -> list[str]:
+    files = []
+    for root in roots:
+        path = os.path.join(REPO, root)
+        if os.path.isfile(path):
+            files.append(path)
+        elif os.path.isdir(path):
+            for name in sorted(os.listdir(path)):
+                if name.endswith(".md"):
+                    files.append(os.path.join(path, name))
+    return files
+
+
+def check_links(files: list[str]) -> list[str]:
+    """Every relative link target must exist on disk."""
+    problems = []
+    for path in files:
+        base = os.path.dirname(path)
+        text = open(path, encoding="utf-8").read()
+        for match in _LINK.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            target = target.split("#", 1)[0]
+            if not target:
+                continue
+            resolved = os.path.normpath(os.path.join(base, target))
+            if not os.path.exists(resolved):
+                problems.append(
+                    f"{os.path.relpath(path, REPO)}: broken link "
+                    f"-> {match.group(1)}"
+                )
+    return problems
+
+
+def python_blocks(path: str) -> list[tuple[int, str]]:
+    """``(start_line, source)`` of every fenced python block."""
+    blocks = []
+    lines = open(path, encoding="utf-8").read().splitlines()
+    in_block = False
+    lang = ""
+    start = 0
+    buf: list[str] = []
+    for i, line in enumerate(lines, 1):
+        fence = _FENCE.match(line)
+        if fence and not in_block:
+            in_block, lang, start, buf = True, fence.group(1), i + 1, []
+        elif line.strip() == "```" and in_block:
+            if lang == "python":
+                blocks.append((start, "\n".join(buf) + "\n"))
+            in_block = False
+        elif in_block:
+            buf.append(line)
+    return blocks
+
+
+def check_exec(files: list[str]) -> list[str]:
+    """Run every python block in a fresh interpreter (repo cwd,
+    src/ on the path) and collect failures."""
+    problems = []
+    env = dict(os.environ)
+    src = os.path.join(REPO, "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    for path in files:
+        for line, source in python_blocks(path):
+            with tempfile.NamedTemporaryFile(
+                "w", suffix=".py", delete=False
+            ) as fh:
+                fh.write(source)
+                script = fh.name
+            try:
+                proc = subprocess.run(
+                    [sys.executable, script],
+                    cwd=REPO,
+                    env=env,
+                    capture_output=True,
+                    text=True,
+                    timeout=600,
+                )
+                if proc.returncode != 0:
+                    tail = proc.stderr.strip().splitlines()[-1:]
+                    problems.append(
+                        f"{os.path.relpath(path, REPO)}:{line}: python "
+                        f"block failed ({'; '.join(tail) or 'no stderr'})"
+                    )
+            finally:
+                os.unlink(script)
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--skip-exec", action="store_true",
+        help="only check links, do not execute code blocks",
+    )
+    args = parser.parse_args(argv)
+
+    link_files = _doc_files(LINKED_DOCS)
+    problems = check_links(link_files)
+    print(f"checked links in {len(link_files)} files")
+    if not args.skip_exec:
+        exec_files = _doc_files(EXECUTABLE_DOCS)
+        blocks = sum(len(python_blocks(f)) for f in exec_files)
+        problems += check_exec(exec_files)
+        print(f"executed {blocks} python blocks from {len(exec_files)} files")
+    for p in problems:
+        print(f"FAIL {p}", file=sys.stderr)
+    if problems:
+        return 1
+    print("docs OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
