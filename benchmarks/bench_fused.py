@@ -13,9 +13,11 @@ Figure 7 CPU workload (entropy-matched enwik8 surrogate, n=11, K=32):
   engine (``LaneEngine.run_reference``), i.e. the seed hot path.
 
 The ``backend_shootout`` section compares the thread and process
-fan-out backends on the same LPT shard plan (measured wall-clock plus
-the solo-shard makespan — docs/BENCHMARKS.md); CI gates on its
-``speedup_process_vs_thread``.
+fan-out backends on the same LPT shard plan (measured wall-clock,
+plus symmetric solo-shard makespans for the clearly-labelled
+projection — docs/BENCHMARKS.md); CI gates on its measured
+``speedup_process_vs_thread`` (the parallel-edge threshold applies
+only on runners with enough cores to express it).
 
 The JSON this emits is the perf trajectory future PRs regress
 against; CI runs it in smoke mode.  Usage::

@@ -87,7 +87,14 @@ def decode_with_pool(
     :param backend: ``"thread"`` or ``"process"``.  A ``"process"``
         request falls back to threads when shared memory is
         unavailable on the host (check ``result.backend`` for what
-        actually ran).
+        actually ran).  The first ``"process"`` call lazily starts
+        the shared worker pool; if the calling process has live
+        non-main threads at that point, the pool uses the ``spawn``
+        start method (slower startup) instead of ``fork``, which
+        would risk deadlocking the children on locks held by those
+        threads — latency-sensitive callers should pre-build the
+        pool while single-threaded (as the serve dispatcher does)
+        via :func:`repro.parallel.shards.default_executor`.
     :param executor: optional pre-built
         :class:`repro.parallel.shards.ShardedExecutor` to dispatch on
         (the serve dispatcher passes its own); by default the shared

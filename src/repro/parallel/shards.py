@@ -43,6 +43,7 @@ import atexit
 import os
 import pickle
 import secrets
+import threading
 from dataclasses import dataclass
 
 import numpy as np
@@ -91,8 +92,13 @@ def sharding_available() -> bool:
         try:
             from multiprocessing import shared_memory
 
+            # Random suffix (like _new_shm): a fixed pid-based name
+            # could collide with a stale segment from a crashed
+            # process whose pid was reused, caching a false negative.
             probe = shared_memory.SharedMemory(
-                create=True, size=16, name=f"{_SHM_PREFIX}probe_{os.getpid()}"
+                create=True,
+                size=16,
+                name=f"{_SHM_PREFIX}probe_{secrets.token_hex(6)}",
             )
             probe.close()
             probe.unlink()
@@ -276,7 +282,13 @@ class ShardedExecutor:
     :param workers: pool size (shards per decode are capped by this).
     :param start_method: ``multiprocessing`` start method; defaults to
         ``fork`` where available (fast, no re-import) and ``spawn``
-        elsewhere.  Override with ``REPRO_SHARD_START_METHOD``.
+        elsewhere — except that a process with live non-main threads
+        defaults to ``spawn`` even where ``fork`` exists, because
+        forking a multithreaded parent can deadlock the children on
+        locks the other threads hold (allocator, BLAS).  ``spawn``
+        carries Python's usual requirement that the calling script be
+        importable (``if __name__ == "__main__":`` guard).  Override
+        with ``REPRO_SHARD_START_METHOD``.
     :raises ParallelismError: if ``workers < 1`` or the pool cannot
         start (callers that want the graceful path should check
         :func:`sharding_available` first).
@@ -297,6 +309,11 @@ class ShardedExecutor:
             if start_method is None:
                 methods = mp.get_all_start_methods()
                 start_method = "fork" if "fork" in methods else "spawn"
+                if start_method == "fork" and threading.active_count() > 1:
+                    # fork() with live non-main threads can deadlock
+                    # the children on locks held mid-fork by the other
+                    # threads; pay spawn's startup cost instead.
+                    start_method = "spawn"
             ctx = mp.get_context(start_method)
             for _ in range(workers):
                 parent_conn, child_conn = ctx.Pipe()
