@@ -116,6 +116,7 @@ def _cmd_serve_bench(args) -> int:
         repeats=args.repeats,
         backend=args.backend,
         workers=args.workers,
+        faults=args.faults,
     )
     if args.json:
         print(json.dumps(result, indent=2))
@@ -181,6 +182,11 @@ def build_parser() -> argparse.ArgumentParser:
                    "processes over shared memory")
     b.add_argument("--workers", type=int, default=8,
                    help="fan-out worker count for thread/process backends")
+    b.add_argument("--faults", default=None, metavar="SPEC",
+                   help="chaos spec armed during the client sweep, e.g. "
+                   "'worker.crash:nth=3,shm.alloc:p=0.05:seed=7' — "
+                   "measures the service under injected failures "
+                   "(see repro.faults)")
     b.add_argument("--json", action="store_true",
                    help="emit the full result as JSON")
     b.set_defaults(func=_cmd_serve_bench)
@@ -194,7 +200,8 @@ def main(argv: list[str] | None = None) -> int:
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    except ReproError as exc:
+    except (ReproError, ValueError) as exc:
+        # ValueError: a malformed --faults chaos spec.
         print(f"error: {exc}", file=sys.stderr)
         return 1
 

@@ -22,6 +22,7 @@ operation of paper §3.3.
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass
 
 import numpy as np
@@ -30,7 +31,7 @@ from repro.bitio.varint import decode_uvarint, encode_uvarint
 from repro.core.encoder import RecoilEncoded
 from repro.core.metadata import RecoilMetadata
 from repro.core.serialization import parse_metadata, serialize_metadata
-from repro.errors import ContainerError, MetadataError
+from repro.errors import ContainerError, MetadataError, ModelError
 from repro.rans.adaptive import AdaptiveModelProvider, StaticModelProvider
 from repro.rans.model import SymbolModel
 
@@ -108,7 +109,38 @@ def parse_container(
     """Parse a container; builds a static provider from the embedded
     model when present, else requires ``provider`` (unless
     ``require_model`` is false — metadata-only operations like
-    :func:`shrink_container` need no model)."""
+    :func:`shrink_container` need no model).
+
+    The error surface is strict: any malformed input — truncation, bit
+    flips, nonsense length fields — raises :class:`ContainerError` or
+    :class:`MetadataError`, never a builtin like ``IndexError`` or
+    ``struct.error``.  Ingest paths (``AssetStore.put_container``,
+    ``recoil info``) rely on this to treat untrusted bytes uniformly.
+    """
+    try:
+        return _parse_container(blob, provider, require_model)
+    except (ContainerError, MetadataError):
+        raise
+    except ModelError as exc:
+        raise ContainerError(f"embedded model invalid: {exc}") from exc
+    except (
+        ValueError,
+        IndexError,
+        KeyError,
+        OverflowError,
+        MemoryError,
+        struct.error,
+    ) as exc:
+        raise ContainerError(
+            f"malformed container ({type(exc).__name__}: {exc})"
+        ) from exc
+
+
+def _parse_container(
+    blob: bytes,
+    provider: AdaptiveModelProvider | None,
+    require_model: bool,
+) -> ParsedContainer:
     if blob[:4] != MAGIC:
         raise ContainerError(f"bad magic {blob[:4]!r}")
     if len(blob) < 7:

@@ -149,6 +149,14 @@ def parse_metadata(blob: bytes, offset: int = 0) -> tuple[RecoilMetadata, int]:
     num_entries, pos = decode_uvarint(blob, pos)
     if num_entries == 0:
         return RecoilMetadata(num_symbols, num_words, lanes, []), pos
+    # Every entry consumes at least one bit of the section; a count
+    # beyond that is a corrupt length field, not a real container —
+    # refuse before sizing arrays (or looping) on it.
+    if num_entries > 8 * max(len(blob) - pos, 0):
+        raise MetadataError(
+            f"implausible metadata entry count {num_entries} for "
+            f"{len(blob) - pos} remaining bytes"
+        )
 
     M = num_entries + 1
     expected_off = -(-num_words // M)

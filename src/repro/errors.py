@@ -51,3 +51,16 @@ class AdmissionError(ServeError):
     """A request was refused by the service's admission control: the
     in-flight work bound stayed saturated past the admission
     timeout (backpressure)."""
+
+
+class DeadlineError(ServeError):
+    """A request's deadline expired before the service executed it.
+    Raised by the dispatcher (an expired request never occupies
+    kernel time) or by ``submit`` when the deadline passes while the
+    request is still blocked on admission."""
+
+
+class FaultInjected(ReproError):
+    """An armed fault point fired (:mod:`repro.faults`).  Only the
+    fault-injection harness raises this — seeing it outside a chaos
+    run means a fault rule leaked out of its context manager."""

@@ -100,8 +100,10 @@ def decode_with_pool(
         (the serve dispatcher passes its own); by default the shared
         module-level pool is used.
     :returns: the decoded symbols plus per-worker engine stats.
-    :raises ParallelismError: ``workers < 1``, unknown backend, or a
-        shard worker died mid-job.
+    :raises ParallelismError: ``workers < 1`` or unknown backend.  A
+        shard-worker death mid-job does NOT raise: the identical plan
+        is transparently re-run on threads (bit-identical output,
+        ``result.backend == "thread"``) while the pool self-heals.
     :raises DecodeError: corrupt stream/metadata (either backend).
     :raises ValueError: unknown assignment strategy.
     """
@@ -121,10 +123,21 @@ def decode_with_pool(
             shards.default_executor(workers)
         )
         if pool is not None and not pool.broken and not pool.closed:
-            return pool.decode(
-                provider, lanes, words, tasks, num_symbols, out_dtype,
-                workers=workers, strategy=strategy,
-            )
+            try:
+                return pool.decode(
+                    provider, lanes, words, tasks, num_symbols, out_dtype,
+                    workers=workers, strategy=strategy,
+                )
+            except ParallelismError:
+                # Infrastructure failure mid-job (worker death, shm
+                # exhaustion, respawn backoff): the shard plan is
+                # deterministic and side-effect-free, so re-running it
+                # on threads below yields bit-identical output.  Real
+                # decode failures (DecodeError) propagate — a retry
+                # cannot fix corrupt data.  Callers see
+                # ``result.backend == "thread"`` and may re-promote
+                # later (the serve dispatcher does).
+                pass
         # Graceful fallback: no shared memory on this host (or the
         # default pool could not start) — run the same plan on threads.
 

@@ -38,6 +38,7 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
+from repro import faults
 from repro.errors import DecodeError
 from repro.parallel.buffers import ScratchArena
 from repro.parallel.simd import EngineStats, ThreadTask
@@ -567,7 +568,10 @@ def fused_run_multi(
     :raises DecodeError: more than one segment with a non-static
         provider (positional model ids do not survive rebasing), or
         any corruption :func:`fused_run` detects.
+    :raises FaultInjected: the ``kernel.exec`` fault point is armed
+        and fired (chaos runs only; :mod:`repro.faults`).
     """
+    faults.fire(faults.KERNEL_EXEC)
     if len(segments) > 1 and not provider.is_static:
         raise DecodeError(
             "multi-segment fusion requires a static model provider; "

@@ -27,9 +27,17 @@ Layout (DESIGN.md §14):
   (LPT over estimated walked symbols) so stragglers balance across
   processes exactly as they do across threads.
 - A worker crash fails the in-flight job with
-  :class:`~repro.errors.ParallelismError`, marks the pool broken, and
-  the parent unlinks every shared-memory segment it created (workers
-  never own segments).
+  :class:`~repro.errors.ParallelismError` and the parent unlinks every
+  shared-memory segment it created (workers never own segments).  The
+  pool then **self-heals**: the dead worker is respawned before the
+  next dispatch, under capped exponential backoff, and the pool only
+  goes terminally ``broken`` after a worker crash-loops past
+  ``max_respawn_attempts`` consecutive deaths (DESIGN.md §15).
+- The real failure surfaces are instrumented as :mod:`repro.faults`
+  points (``shm.alloc``/``shm.attach``, ``pipe.send``/``pipe.recv``,
+  ``worker.job``/``worker.crash``) so the chaos suite can drive every
+  one of them deterministically.  Worker-side verdicts are evaluated
+  in the parent and ship with the job.
 
 When shared memory is unavailable (no writable ``/dev/shm``, missing
 platform support), :func:`sharding_available` is ``False`` and callers
@@ -44,11 +52,13 @@ import os
 import pickle
 import secrets
 import threading
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.errors import ParallelismError
+from repro import faults
+from repro.errors import FaultInjected, ParallelismError, ReproError
 from repro.parallel.costmodel import assign_tasks
 from repro.parallel.executor import PoolDecodeResult
 from repro.parallel.fused import (
@@ -112,6 +122,7 @@ _AVAILABLE: bool | None = None
 
 
 def _new_shm(size: int):
+    faults.fire(faults.SHM_ALLOC)
     from multiprocessing import shared_memory
 
     name = f"{_SHM_PREFIX}{os.getpid()}_{secrets.token_hex(6)}"
@@ -179,9 +190,17 @@ def _worker_run_job(
     dropped before returning), so the caller can safely close the
     maps.
     """
+    # Injected-fault verdicts are evaluated in the PARENT at dispatch
+    # time (one registry, one seed — deterministic across processes);
+    # the worker merely executes what shipped with the job.
+    verdict = job.get("fault")
+    if verdict == "crash":  # simulated segfault: no reply, no cleanup
+        os._exit(13)
     words_shm = out_shm = None
     try:
         try:
+            if verdict == "raise":
+                raise FaultInjected("injected fault at worker.job")
             key = job["provider_key"]
             if key is None:
                 # Adaptive providers ship with every job (their
@@ -197,6 +216,8 @@ def _worker_run_job(
                     engine = LaneEngine(providers[key], job["lanes"])
                     engines[(key, job["lanes"])] = engine
 
+            if verdict == "attach":
+                raise OSError("injected fault at shm.attach")
             words_shm = _attach_shm(job["words_name"])
             out_shm = _attach_shm(job["out_name"])
             words = np.ndarray(
@@ -268,10 +289,17 @@ class _Worker:
     proc: object
     conn: object
     known_providers: set
+    #: the worker died (or its pipe broke) and awaits respawn.
+    dead: bool = False
+    #: consecutive deaths without an intervening successful dispatch —
+    #: drives the respawn backoff and the crash-loop give-up.
+    fails: int = 0
+    #: earliest monotonic time a respawn may be attempted.
+    next_respawn_at: float = field(default=0.0, repr=False)
 
 
 class ShardedExecutor:
-    """Persistent pool of shard processes running the fused kernels.
+    """Persistent, self-healing pool of shard processes.
 
     The executor is provider-agnostic: any decode may be submitted,
     and workers cache providers/engines by model fingerprint.  It is
@@ -279,27 +307,66 @@ class ShardedExecutor:
     dispatcher, or the caller of
     :func:`~repro.parallel.executor.decode_with_pool`).
 
+    A worker death fails the in-flight dispatch with
+    :class:`~repro.errors.ParallelismError` (its shard's output is
+    lost), but does not end the pool: the dead worker is **respawned**
+    before the next dispatch, after a capped exponential backoff
+    (``respawn_backoff_s * 2**(deaths-1)``, capped at
+    ``respawn_backoff_cap_s``).  Consecutive-death counters reset on
+    any fully successful dispatch; a worker that crash-loops past
+    ``max_respawn_attempts`` consecutive deaths marks the pool
+    terminally ``broken``.  Pass ``respawn=False`` for the pre-§15
+    fail-fast behavior (first death breaks the pool).
+
     :param workers: pool size (shards per decode are capped by this).
     :param start_method: ``multiprocessing`` start method; defaults to
         ``fork`` where available (fast, no re-import) and ``spawn``
         elsewhere — except that a process with live non-main threads
         defaults to ``spawn`` even where ``fork`` exists, because
         forking a multithreaded parent can deadlock the children on
-        locks the other threads hold (allocator, BLAS).  ``spawn``
-        carries Python's usual requirement that the calling script be
-        importable (``if __name__ == "__main__":`` guard).  Override
-        with ``REPRO_SHARD_START_METHOD``.
+        locks the other threads hold (allocator, BLAS).  Respawns
+        re-evaluate this rule at respawn time, so a pool forked while
+        single-threaded respawns via ``spawn`` once a dispatcher
+        thread is alive.  ``spawn`` carries Python's usual requirement
+        that the calling script be importable
+        (``if __name__ == "__main__":`` guard).  Override with
+        ``REPRO_SHARD_START_METHOD``.
+    :param respawn: whether dead workers are respawned (default) or
+        the first death permanently breaks the pool.
+    :param max_respawn_attempts: consecutive deaths of one worker
+        slot after which the pool gives up and goes ``broken``.
+    :param respawn_backoff_s: base backoff before the first respawn.
+    :param respawn_backoff_cap_s: backoff ceiling.
     :raises ParallelismError: if ``workers < 1`` or the pool cannot
         start (callers that want the graceful path should check
         :func:`sharding_available` first).
     """
 
-    def __init__(self, workers: int, start_method: str | None = None) -> None:
+    def __init__(
+        self,
+        workers: int,
+        start_method: str | None = None,
+        respawn: bool = True,
+        max_respawn_attempts: int = 5,
+        respawn_backoff_s: float = 0.05,
+        respawn_backoff_cap_s: float = 2.0,
+    ) -> None:
         if workers < 1:
             raise ParallelismError(f"workers must be >= 1, got {workers}")
+        if max_respawn_attempts < 1:
+            raise ParallelismError(
+                f"max_respawn_attempts must be >= 1, got "
+                f"{max_respawn_attempts}"
+            )
         if start_method is None:
             start_method = os.environ.get("REPRO_SHARD_START_METHOD")
         self.workers = workers
+        self.respawn = respawn
+        self.max_respawn_attempts = max_respawn_attempts
+        self.respawn_backoff_s = respawn_backoff_s
+        self.respawn_backoff_cap_s = respawn_backoff_cap_s
+        #: total workers respawned over the pool's lifetime.
+        self.respawns = 0
         self.broken = False
         self.closed = False
         self._workers: list[_Worker] = []
@@ -309,22 +376,9 @@ class ShardedExecutor:
             if start_method is None:
                 methods = mp.get_all_start_methods()
                 start_method = "fork" if "fork" in methods else "spawn"
-                if start_method == "fork" and threading.active_count() > 1:
-                    # fork() with live non-main threads can deadlock
-                    # the children on locks held mid-fork by the other
-                    # threads; pay spawn's startup cost instead.
-                    start_method = "spawn"
-            ctx = mp.get_context(start_method)
+            self._start_method = start_method
             for _ in range(workers):
-                parent_conn, child_conn = ctx.Pipe()
-                proc = ctx.Process(
-                    target=_worker_main, args=(child_conn,), daemon=True
-                )
-                proc.start()
-                child_conn.close()
-                self._workers.append(
-                    _Worker(proc=proc, conn=parent_conn, known_providers=set())
-                )
+                self._workers.append(self._spawn_worker())
         except ParallelismError:
             raise
         except Exception as exc:
@@ -332,6 +386,27 @@ class ShardedExecutor:
             raise ParallelismError(
                 f"could not start shard worker pool: {exc}"
             ) from exc
+
+    def _ctx(self):
+        import multiprocessing as mp
+
+        method = self._start_method
+        if method == "fork" and threading.active_count() > 1:
+            # fork() with live non-main threads can deadlock the
+            # children on locks held mid-fork by the other threads;
+            # pay spawn's startup cost instead.
+            method = "spawn"
+        return mp.get_context(method)
+
+    def _spawn_worker(self) -> _Worker:
+        ctx = self._ctx()
+        parent_conn, child_conn = ctx.Pipe()
+        proc = ctx.Process(
+            target=_worker_main, args=(child_conn,), daemon=True
+        )
+        proc.start()
+        child_conn.close()
+        return _Worker(proc=proc, conn=parent_conn, known_providers=set())
 
     # -- lifecycle -----------------------------------------------------
 
@@ -375,47 +450,139 @@ class ShardedExecutor:
     def warm(self) -> None:
         """Round-trip a ping through every worker (pool health check;
         benchmarks call this so process startup is outside the timed
-        region).
+        region).  Respawns dead workers first, so this doubles as the
+        serve layer's re-promotion probe.
 
-        :raises ParallelismError: if the pool is closed/broken or a
-            worker does not answer.
+        :raises ParallelismError: if the pool is closed/broken, a
+            respawn is still backing off, or a worker does not answer.
         """
-        self._check_usable()
+        self._ensure_workers()
+        failure: BaseException | None = None
+        pinged: list[int] = []
         for wid, w in enumerate(self._workers):
             try:
                 w.conn.send(("ping",))
+                pinged.append(wid)
             except Exception as exc:
-                self.broken = True
-                raise ParallelismError(
-                    f"shard worker {wid} unreachable"
-                ) from exc
-        for wid, w in enumerate(self._workers):
-            self._recv(wid)
+                self._mark_dead(wid)
+                if failure is None:
+                    failure = ParallelismError(
+                        f"shard worker {wid} unreachable"
+                    )
+                    failure.__cause__ = exc
+        # Drain every pong (even after a failure) so no stale reply is
+        # left in a pipe to desynchronize the next dispatch.
+        for wid in pinged:
+            if self._workers[wid].dead:
+                continue
+            try:
+                self._recv(wid)
+            except ParallelismError as exc:
+                if failure is None:
+                    failure = exc
+        if failure is not None:
+            raise failure
 
-    # -- dispatch ------------------------------------------------------
+    # -- health --------------------------------------------------------
 
     def _check_usable(self) -> None:
         if self.closed:
             raise ParallelismError("sharded executor is closed")
         if self.broken:
             raise ParallelismError(
-                "sharded executor is broken (a worker died); create a "
-                "fresh executor"
+                "sharded executor is broken (a worker crash-looped "
+                "past the respawn budget); create a fresh executor"
             )
+
+    def _mark_dead(self, wid: int) -> None:
+        """Record a worker death: schedule its respawn (with backoff)
+        and reap the process so a half-dead worker cannot wedge us."""
+        w = self._workers[wid]
+        if w.dead:
+            return
+        w.dead = True
+        w.fails += 1
+        delay = min(
+            self.respawn_backoff_s * (2 ** (w.fails - 1)),
+            self.respawn_backoff_cap_s,
+        )
+        w.next_respawn_at = time.monotonic() + delay
+        try:
+            w.conn.close()
+        except Exception:
+            pass
+        try:
+            if w.proc.is_alive():
+                w.proc.terminate()
+                w.proc.join(timeout=1.0)
+                if w.proc.is_alive():  # pragma: no cover - last resort
+                    w.proc.kill()
+        except Exception:
+            pass
+        if not self.respawn or w.fails > self.max_respawn_attempts:
+            self.broken = True
+
+    def dead_workers(self) -> int:
+        """Workers currently awaiting respawn."""
+        return sum(1 for w in self._workers if w.dead)
+
+    def _ensure_workers(self) -> None:
+        """Respawn dead workers whose backoff has elapsed.
+
+        :raises ParallelismError: pool closed/terminally broken, a
+            worker is still backing off, or a respawn attempt failed
+            (callers fall back to the thread backend and retry later).
+        """
+        self._check_usable()
+        for wid, w in enumerate(self._workers):
+            if not w.dead and not w.proc.is_alive():
+                # Died between jobs (e.g. OOM-killed while idle).
+                self._mark_dead(wid)
+        self._check_usable()
+        now = time.monotonic()
+        for wid, w in enumerate(self._workers):
+            if not w.dead:
+                continue
+            if now < w.next_respawn_at:
+                raise ParallelismError(
+                    f"shard worker {wid} respawn is backing off "
+                    f"({w.next_respawn_at - now:.3f}s remaining)"
+                )
+            try:
+                fresh = self._spawn_worker()
+            except Exception as exc:
+                w.fails += 1
+                w.next_respawn_at = now + min(
+                    self.respawn_backoff_s * (2 ** (w.fails - 1)),
+                    self.respawn_backoff_cap_s,
+                )
+                if w.fails > self.max_respawn_attempts:
+                    self.broken = True
+                raise ParallelismError(
+                    f"could not respawn shard worker {wid}: {exc}"
+                ) from exc
+            # Carry the crash-loop history so a worker that dies right
+            # after every respawn keeps backing off harder.
+            fresh.fails = w.fails
+            self._workers[wid] = fresh
+            self.respawns += 1
+
+    # -- dispatch ------------------------------------------------------
 
     def _recv(self, wid: int):
         w = self._workers[wid]
-        while not w.conn.poll(0.05):
-            if not w.proc.is_alive():
-                self.broken = True
-                raise ParallelismError(
-                    f"shard worker {wid} died (exit code "
-                    f"{w.proc.exitcode})"
-                )
         try:
+            faults.fire(faults.PIPE_RECV)
+            while not w.conn.poll(0.05):
+                if not w.proc.is_alive():
+                    self._mark_dead(wid)
+                    raise ParallelismError(
+                        f"shard worker {wid} died (exit code "
+                        f"{w.proc.exitcode})"
+                    )
             return w.conn.recv()
         except (EOFError, OSError) as exc:
-            self.broken = True
+            self._mark_dead(wid)
             raise ParallelismError(
                 f"shard worker {wid} hung up mid-job"
             ) from exc
@@ -458,7 +625,7 @@ class ShardedExecutor:
         round-robin onto the pool's workers and each worker drains its
         queue in order.
         """
-        self._check_usable()
+        self._ensure_workers()
         out_dtype = np.dtype(out_dtype)
         buckets = assign_tasks(tasks, workers, strategy=strategy)
         out = np.empty(num_symbols, dtype=out_dtype)
@@ -466,15 +633,37 @@ class ShardedExecutor:
             return out, []
 
         words = np.ascontiguousarray(words, dtype=np.uint16)
-        words_shm = _new_shm(words.nbytes)
-        out_shm = _new_shm(num_symbols * out_dtype.itemsize)
+        words_shm = out_shm = None
         pool_size = len(self._workers)
         try:
+            try:
+                words_shm = _new_shm(words.nbytes)
+                out_shm = _new_shm(num_symbols * out_dtype.itemsize)
+            except Exception as exc:
+                # Exhausted /dev/shm is an infrastructure failure, not
+                # a decode failure: surface it as ParallelismError so
+                # callers retry the identical plan on threads.
+                raise ParallelismError(
+                    f"could not allocate shared memory: {exc}"
+                ) from exc
             np.ndarray(words.shape, np.uint16, buffer=words_shm.buf)[:] = words
+            sent = [0] * pool_size
+            failure: BaseException | None = None
             for i, bucket in enumerate(buckets):
+                if failure is not None:
+                    break  # don't queue more work onto a failing run
                 wid = i % pool_size
                 key, wire_provider = self._provider_for_wire(wid, provider)
+                verdict = None
+                if faults.enabled():
+                    if faults.triggered(faults.WORKER_CRASH):
+                        verdict = "crash"
+                    elif faults.triggered(faults.WORKER_JOB):
+                        verdict = "raise"
+                    elif faults.triggered(faults.SHM_ATTACH):
+                        verdict = "attach"
                 try:
+                    faults.fire(faults.PIPE_SEND)
                     self._workers[wid].conn.send(
                         (
                             "decode",
@@ -488,31 +677,64 @@ class ShardedExecutor:
                                 "num_symbols": num_symbols,
                                 "out_dtype": out_dtype.str,
                                 "tasks": bucket,
+                                "fault": verdict,
                             },
                         )
                     )
+                    sent[wid] += 1
                 except (OSError, BrokenPipeError) as exc:
-                    self.broken = True
-                    raise ParallelismError(
+                    self._mark_dead(wid)
+                    failure = ParallelismError(
                         f"shard worker {wid} unreachable"
-                    ) from exc
+                    )
+                    failure.__cause__ = exc
+            # Drain every reply owed by every still-live worker, even
+            # after a failure: a reply left in a pipe would be read as
+            # the next dispatch's answer.
             stats: list[EngineStats] = []
-            failure: BaseException | None = None
-            for i in range(len(buckets)):
-                reply = self._recv(i % pool_size)
-                if reply[0] == "ok":
-                    stats.append(reply[1])
-                elif failure is None:
-                    failure = reply[1]
+            for wid in range(pool_size):
+                for _ in range(sent[wid]):
+                    if self._workers[wid].dead:
+                        break  # its replies died with it
+                    try:
+                        reply = self._recv(wid)
+                    except ParallelismError as exc:
+                        if failure is None:
+                            failure = exc
+                        break
+                    if reply[0] == "ok":
+                        stats.append(reply[1])
+                        continue
+                    exc = reply[1]
+                    if not isinstance(exc, ReproError):
+                        # A worker-side infrastructure error (attach
+                        # failure, numpy misbehavior): the worker is
+                        # healthy but the job is lost — retryable.
+                        exc = ParallelismError(
+                            f"shard worker {wid} job failed: {exc!r}"
+                        )
+                    if failure is None:
+                        failure = exc
             if failure is not None:
                 raise failure
+            if len(stats) != len(buckets):  # pragma: no cover - guard
+                raise ParallelismError(
+                    f"shard dispatch lost replies "
+                    f"({len(stats)}/{len(buckets)})"
+                )
+            # A fully successful dispatch clears crash-loop history.
+            for w in self._workers:
+                if not w.dead:
+                    w.fails = 0
             out[:] = np.ndarray(
                 (num_symbols,), out_dtype, buffer=out_shm.buf
             )
             return out, stats
         finally:
-            _release_shm(words_shm, unlink=True)
-            _release_shm(out_shm, unlink=True)
+            if words_shm is not None:
+                _release_shm(words_shm, unlink=True)
+            if out_shm is not None:
+                _release_shm(out_shm, unlink=True)
 
     # -- public entry points -------------------------------------------
 

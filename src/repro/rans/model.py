@@ -286,6 +286,12 @@ class SymbolModel:
         """Inverse of :meth:`to_bytes`; returns ``(model, new_offset)``."""
         quant_bits, pos = decode_uvarint(blob, offset)
         alphabet, pos = decode_uvarint(blob, pos)
+        # A varint can claim a 2^60-symbol alphabet; refuse before the
+        # allocation below turns a flipped bit into a MemoryError.
+        if alphabet > 1 << 24:
+            raise ModelError(
+                f"implausible alphabet size {alphabet} in model blob"
+            )
         freqs = np.zeros(alphabet, dtype=np.uint32)
         i = 0
         while i < alphabet:

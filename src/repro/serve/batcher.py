@@ -41,10 +41,16 @@ class DecodeRequest:
     """One client decompress request travelling through the service."""
 
     def __init__(
-        self, asset: StoredAsset, variant: ShrunkVariant
+        self,
+        asset: StoredAsset,
+        variant: ShrunkVariant,
+        deadline: float | None = None,
     ) -> None:
         self.asset = asset
         self.variant = variant
+        #: absolute ``perf_counter`` time after which the dispatcher
+        #: fails the request with DeadlineError instead of running it.
+        self.deadline = deadline
         self.enqueued_at = time.perf_counter()
         self._future: Future = Future()
         self.completed_at: float | None = None
@@ -176,11 +182,34 @@ class RequestBatcher:
         return group, False
 
     def deadline(self) -> float | None:
-        """perf_counter time at which the head request's window ends
-        (None when empty)."""
+        """perf_counter time at which the dispatcher must wake: the
+        head request's window end, or the earliest pending request
+        deadline if that comes sooner (an expired request must be
+        failed promptly, not after a full window).  None when empty."""
         if not self._pending:
             return None
-        return self._pending[0].enqueued_at + self.policy.window_s
+        when = self._pending[0].enqueued_at + self.policy.window_s
+        for req in self._pending:
+            if req.deadline is not None and req.deadline < when:
+                when = req.deadline
+        return when
+
+    def pop_expired(self, now: float | None = None) -> list[DecodeRequest]:
+        """Remove and return every pending request whose deadline has
+        passed (the dispatcher fails them without kernel time)."""
+        if now is None:
+            now = time.perf_counter()
+        expired = [
+            r
+            for r in self._pending
+            if r.deadline is not None and now >= r.deadline
+        ]
+        if expired:
+            dead = set(map(id, expired))
+            self._pending = deque(
+                r for r in self._pending if id(r) not in dead
+            )
+        return expired
 
     def ready(self, now: float | None = None) -> bool:
         """Should a batch dispatch right now?"""

@@ -17,12 +17,15 @@ emits ``BENCH_serve.json``, the number CI gates on) call
 
 from __future__ import annotations
 
+import contextlib
 import time
 
 import numpy as np
 
+from repro import faults as fault_injection
 from repro.core.api import recoil_decompress
 from repro.data import text_surrogate
+from repro.errors import ReproError
 from repro.serve.service import RecoilService, ServiceConfig
 from repro.stats.timing import measure_backend_shootout
 
@@ -49,6 +52,7 @@ def run_serve_bench(
     seed: int = 11,
     backend: str = "fused",
     workers: int = 8,
+    faults: str | None = None,
 ) -> dict:
     """Benchmark batched vs. unbatched serving; returns a JSON-able dict.
 
@@ -71,7 +75,21 @@ def run_serve_bench(
     measured ``speedup_process_vs_thread`` (the parallel-edge
     threshold applies only on runners with enough cores to express
     it).
+
+    ``faults`` optionally arms a chaos spec
+    (:func:`repro.faults.parse_spec` format) for the duration of the
+    client sweep — the ``recoil serve-bench --faults`` knob.  With
+    chaos armed, per-request :class:`~repro.errors.ReproError`
+    failures are tolerated and counted (``faults.failed_requests`` in
+    the result) instead of aborting the run, and correctness is still
+    asserted on every request that completes; the timings then
+    describe the service *under fire*, not a clean baseline.
     """
+    chaos = bool(faults and faults.strip())
+    if chaos:
+        fault_injection.parse_spec(faults)  # fail fast on a bad spec
+    failed_requests = 0
+    fault_report: list[dict] = []
     data = text_surrogate(symbols, target_entropy=5.29, seed=seed)
     out_bytes = data.nbytes
 
@@ -101,30 +119,57 @@ def run_serve_bench(
                     f"batched decode mismatch at capacity {cap}"
                 )
 
-        for num_clients in clients:
-            caps = [
-                capacities[i % len(capacities)] for i in range(num_clients)
-            ]
+        chaos_stack = (
+            fault_injection.inject_spec(faults)
+            if chaos
+            else contextlib.nullcontext()
+        )
+        with chaos_stack:
+            for num_clients in clients:
+                caps = [
+                    capacities[i % len(capacities)]
+                    for i in range(num_clients)
+                ]
 
-            def unbatched() -> None:
-                for c in caps:
-                    recoil_decompress(served[c])
+                def unbatched() -> None:
+                    for c in caps:
+                        recoil_decompress(served[c])
 
-            def batched() -> None:
-                requests = [service.submit("asset", c) for c in caps]
-                for request in requests:
-                    request.result(600)
+                def batched() -> None:
+                    nonlocal failed_requests
+                    requests = []
+                    for c in caps:
+                        try:
+                            requests.append(service.submit("asset", c))
+                        except ReproError:
+                            if not chaos:
+                                raise
+                            failed_requests += 1
+                    for request in requests:
+                        try:
+                            out = request.result(600)
+                        except ReproError:
+                            if not chaos:
+                                raise
+                            failed_requests += 1
+                            continue
+                        if chaos and not np.array_equal(out, reference):
+                            raise AssertionError(
+                                "corrupt response under fault injection"
+                            )
 
-            t_unbatched = _best_of(unbatched, repeats)
-            t_batched = _best_of(batched, repeats)
-            total = num_clients * out_bytes
-            results[str(num_clients)] = {
-                "unbatched_s": round(t_unbatched, 4),
-                "batched_s": round(t_batched, 4),
-                "unbatched_mb_s": round(total / t_unbatched / 1e6, 2),
-                "batched_mb_s": round(total / t_batched / 1e6, 2),
-                "speedup": round(t_unbatched / t_batched, 3),
-            }
+                t_unbatched = _best_of(unbatched, repeats)
+                t_batched = _best_of(batched, repeats)
+                total = num_clients * out_bytes
+                results[str(num_clients)] = {
+                    "unbatched_s": round(t_unbatched, 4),
+                    "batched_s": round(t_batched, 4),
+                    "unbatched_mb_s": round(total / t_unbatched / 1e6, 2),
+                    "batched_mb_s": round(total / t_batched / 1e6, 2),
+                    "speedup": round(t_unbatched / t_batched, 3),
+                }
+            if chaos:
+                fault_report = fault_injection.snapshot()
 
         snapshot = service.metrics_snapshot()
 
@@ -162,6 +207,15 @@ def run_serve_bench(
             }
 
     max_clients = str(max(clients))
+    chaos_section = (
+        {
+            "spec": faults,
+            "failed_requests": failed_requests,
+            "rules": fault_report,
+        }
+        if chaos
+        else None
+    )
     return {
         "workload": {
             "dataset": "enwik8-surrogate",
@@ -171,7 +225,9 @@ def run_serve_bench(
             "repeats": repeats,
             "backend": backend,
             "fanout_workers": workers,
+            "faults": faults,
         },
+        "faults": chaos_section,
         "clients": results,
         "speedup_batched_vs_unbatched_max_clients": results[max_clients][
             "speedup"
@@ -239,6 +295,26 @@ def render_table(result: dict) -> str:
         f"{m['batches']['largest_requests']} requests; shrink-cache "
         f"hit rate {m['shrink']['hit_rate']:.0%}"
     )
+    res = m.get("resilience")
+    if res and (
+        res["degradations"]
+        or res["poison_batches"]
+        or res["deadline_expired"]
+    ):
+        lines.append(
+            f"resilience: {res['degradations']} degradations, "
+            f"{res['promotions']} promotions, "
+            f"{res['poison_batches']} poison batches "
+            f"({res['poison_isolated']} isolated), "
+            f"{res['deadline_expired']} deadline-expired"
+        )
+    chaos = result.get("faults")
+    if chaos:
+        fired = sum(r["fires"] for r in chaos["rules"])
+        lines.append(
+            f"chaos: spec {chaos['spec']!r} fired {fired} faults, "
+            f"{chaos['failed_requests']} requests failed"
+        )
     shootout = result.get("backend_shootout")
     if shootout:
         lines.append(

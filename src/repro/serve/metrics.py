@@ -39,6 +39,14 @@ class ServeMetrics:
         self.shrink_cache_hits = 0
         self.shrink_cache_misses = 0
         self.bytes_served = 0
+        # -- resilience (DESIGN.md §15) --------------------------------
+        self.degradations = 0  # process -> thread backend falls
+        self.promotions = 0  # thread -> process recoveries
+        self.promotion_probes = 0  # cooldown probes attempted
+        self.poison_batches = 0  # failed batches retried per-request
+        self.poison_retries = 0  # solo re-runs performed
+        self.poison_isolated = 0  # requests that failed alone (the poison)
+        self.deadline_expired = 0  # requests failed by deadline
 
     # ------------------------------------------------------------------
 
@@ -85,6 +93,32 @@ class ServeMetrics:
             self.fused_tasks_total += num_tasks
             self.symbols_decoded += symbols
             self.kernel_seconds += seconds
+
+    def record_degradation(self) -> None:
+        with self._lock:
+            self.degradations += 1
+
+    def record_promotion(self) -> None:
+        with self._lock:
+            self.promotions += 1
+
+    def record_promotion_probe(self) -> None:
+        with self._lock:
+            self.promotion_probes += 1
+
+    def record_poison_batch(self) -> None:
+        with self._lock:
+            self.poison_batches += 1
+
+    def record_poison_retry(self, isolated: bool) -> None:
+        with self._lock:
+            self.poison_retries += 1
+            if isolated:
+                self.poison_isolated += 1
+
+    def record_deadline_expired(self) -> None:
+        with self._lock:
+            self.deadline_expired += 1
 
     def record_shrink(self, nbytes: int, cache_hit: bool) -> None:
         with self._lock:
@@ -138,5 +172,14 @@ class ServeMetrics:
                         self.shrink_cache_hits / shrinks if shrinks else 0.0
                     ),
                     "bytes_served": self.bytes_served,
+                },
+                "resilience": {
+                    "degradations": self.degradations,
+                    "promotions": self.promotions,
+                    "promotion_probes": self.promotion_probes,
+                    "poison_batches": self.poison_batches,
+                    "poison_retries": self.poison_retries,
+                    "poison_isolated": self.poison_isolated,
+                    "deadline_expired": self.deadline_expired,
                 },
             }

@@ -21,6 +21,14 @@ dispatcher thread owns the kernel-side scratch arena (arena rule 1,
 DESIGN.md §9) and executes batches serially — the fused kernel is
 already the width-optimal way to spend one core's time, and numpy
 releases the GIL inside the wide ops, so client threads keep running.
+
+Failure semantics (DESIGN.md §15): a failed fused batch is retried
+request-by-request so only the poisoned request errors; a dead shard
+pool degrades the service to the thread backend and a cooldown probe
+re-promotes it once the pool has healed; per-request deadlines are
+enforced *before* kernel dispatch, so an expired request never
+occupies kernel time.  All of it is visible in
+:meth:`RecoilService.metrics_snapshot` under ``"resilience"``.
 """
 
 from __future__ import annotations
@@ -31,7 +39,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.errors import AdmissionError, ParallelismError, ServeError
+from repro import faults
+from repro.errors import (
+    AdmissionError,
+    DeadlineError,
+    ParallelismError,
+    ServeError,
+)
 from repro.parallel.buffers import ScratchArena
 from repro.parallel.executor import decode_with_pool
 from repro.parallel.fused import MultiRunResult, fuse_segments, fused_run_multi
@@ -73,6 +87,15 @@ class ServiceConfig:
     decode_backend: str = "fused"
     #: worker count for the ``"thread"``/``"process"`` backends.
     decode_workers: int = 8
+    #: seconds after a process→thread degradation before the service
+    #: probes the shard pool for re-promotion (doubles per failed
+    #: probe, capped at ``repromote_cooldown_cap_s``).
+    repromote_cooldown_s: float = 5.0
+    #: ceiling on the re-promotion probe backoff.
+    repromote_cooldown_cap_s: float = 60.0
+    #: how long :meth:`RecoilService.close` waits for the dispatcher
+    #: thread before raising instead of hanging.
+    close_timeout_s: float = 10.0
 
     def __post_init__(self) -> None:
         if self.decode_backend not in DECODE_BACKENDS:
@@ -83,6 +106,19 @@ class ServiceConfig:
         if self.decode_workers < 1:
             raise ServeError(
                 f"decode_workers must be >= 1, got {self.decode_workers}"
+            )
+        if self.repromote_cooldown_s <= 0:
+            raise ServeError(
+                f"repromote_cooldown_s must be > 0, got "
+                f"{self.repromote_cooldown_s}"
+            )
+        if self.repromote_cooldown_cap_s < self.repromote_cooldown_s:
+            raise ServeError(
+                "repromote_cooldown_cap_s must be >= repromote_cooldown_s"
+            )
+        if self.close_timeout_s <= 0:
+            raise ServeError(
+                f"close_timeout_s must be > 0, got {self.close_timeout_s}"
             )
 
     def batch_policy(self) -> BatchPolicy:
@@ -117,6 +153,11 @@ class RecoilService:
         # portable-safe moment.  Unavailable shared memory degrades to
         # the thread backend (``decode_backend`` reports the truth).
         self._backend = self.config.decode_backend
+        #: what the operator asked for — ``decode_backend`` may differ
+        #: after a degradation, and re-promotion aims back at this.
+        self._configured_backend = self.config.decode_backend
+        self._repromote_at = 0.0
+        self._promote_fails = 0
         self._shards = None
         if self._backend == "process":
             from repro.parallel import shards as shards_mod
@@ -143,10 +184,11 @@ class RecoilService:
 
         Reports ``"thread"`` after a graceful fallback from an
         unavailable ``"process"`` request — including mid-life, when a
-        shard worker dies and the broken pool degrades the service to
-        the thread fan-out (re-forking from the multi-threaded
-        dispatcher is not safe, so the degradation is permanent for
-        this service instance; monitor this property)."""
+        shard worker dies and the pool degrades the service to the
+        thread fan-out.  The degradation is temporary: once
+        ``repromote_cooldown_s`` has elapsed the dispatcher probes the
+        (self-healing) pool and promotes back to ``"process"`` when it
+        answers — watch ``metrics_snapshot()["resilience"]``."""
         return self._backend
 
     # -- lifecycle -----------------------------------------------------
@@ -160,16 +202,23 @@ class RecoilService:
     def close(self) -> None:
         """Stop accepting requests and fail anything still pending.
 
-        Idempotent.  Joins the dispatcher thread, stops the shard pool
-        (process backend), and fails queued requests with
+        Idempotent.  Joins the dispatcher thread (bounded by
+        ``close_timeout_s``), stops the shard pool (process backend),
+        and fails queued requests with
         :class:`~repro.errors.ServeError`.
+
+        :raises ServeError: the dispatcher thread did not exit within
+            ``close_timeout_s`` (named in the message so operators can
+            find it) — the service is still marked closed and queued
+            requests are failed, but the wedged thread leaks.
         """
         with self._cond:
             if not self._running:
                 return
             self._running = False
             self._cond.notify_all()
-        self._dispatcher.join()
+        self._dispatcher.join(self.config.close_timeout_s)
+        wedged = self._dispatcher.is_alive()
         if self._shards is not None:
             self._shards.close()
         with self._cond:
@@ -179,6 +228,13 @@ class RecoilService:
         for req in leftovers:
             req.set_error(ServeError("service closed"))
             self.metrics.record_completion(req.latency_s, ok=False)
+        if wedged:
+            raise ServeError(
+                f"dispatcher thread {self._dispatcher.name!r} did not "
+                f"exit within {self.config.close_timeout_s:.3g}s of "
+                f"close(); it is leaked (likely stuck in a kernel or a "
+                f"hung worker pipe)"
+            )
 
     @property
     def closed(self) -> bool:
@@ -229,22 +285,43 @@ class RecoilService:
 
     # -- serving (bytes on the wire) -----------------------------------
 
-    def serve(self, name: str, capacity: int) -> bytes:
+    def serve(
+        self, name: str, capacity: int, timeout: float | None = None
+    ) -> bytes:
         """Container bytes shrunk to ``capacity`` (the per-request
         real-time operation of §3.3; cached).
 
+        :param timeout: optional deadline in seconds; a shrink that
+            takes longer (a cold cache miss on a huge master under
+            load) raises instead of returning late.
         :returns: servable container bytes (same payload as the
             master, combined metadata).
         :raises ServeError: unknown asset.
         :raises MetadataError: ``capacity < 1``.
+        :raises DeadlineError: the shrink missed ``timeout``.
         """
+        t0 = time.perf_counter()
         variant, hit = self.store.shrunk(name, capacity)
+        if (
+            timeout is not None
+            and time.perf_counter() - t0 > timeout
+        ):
+            self.metrics.record_deadline_expired()
+            raise DeadlineError(
+                f"serve({name!r}, capacity={capacity}) missed its "
+                f"{timeout:.3g}s deadline"
+            )
         self.metrics.record_shrink(len(variant.blob), cache_hit=hit)
         return variant.blob
 
     # -- decoding ------------------------------------------------------
 
-    def submit(self, name: str, capacity: int) -> DecodeRequest:
+    def submit(
+        self,
+        name: str,
+        capacity: int,
+        timeout: float | None = None,
+    ) -> DecodeRequest:
         """Enqueue a decompress request; returns a waitable handle.
 
         Blocks (backpressure) while the in-flight work bound is
@@ -253,23 +330,42 @@ class RecoilService:
         :param name: stored asset to decode.
         :param capacity: the client's advertised decoder parallelism
             (selects the shrunk variant whose tasks the kernel runs).
+        :param timeout: optional per-request deadline in seconds,
+            measured from now.  A request whose deadline passes while
+            it is still queued is failed by the dispatcher with
+            :class:`~repro.errors.DeadlineError` *without* occupying
+            kernel time; a deadline that expires during the admission
+            wait raises it here.
         :returns: a handle whose :meth:`~DecodeRequest.result` blocks
             for the decoded symbols.
-        :raises ServeError: unknown asset, or the service is closed.
+        :raises ServeError: unknown asset, the service is closed, or
+            ``timeout <= 0``.
         :raises MetadataError: ``capacity < 1``.
         :raises AdmissionError: the in-flight bound stayed saturated
             past ``admission_timeout_s``.
+        :raises DeadlineError: ``timeout`` elapsed before admission.
         """
         if not self._running:
             raise ServeError("service closed")
+        if timeout is not None and timeout <= 0:
+            raise ServeError(
+                f"timeout must be positive, got {timeout}"
+            )
         variant, hit = self.store.shrunk(name, capacity)
         self.metrics.record_shrink(len(variant.blob), cache_hit=hit)
         # variant.asset, not a second store.get(): a concurrent put()
         # replacing the name must not pair old tasks with new words.
-        request = DecodeRequest(variant.asset, variant)
+        request_deadline = (
+            None if timeout is None else time.perf_counter() + timeout
+        )
+        request = DecodeRequest(
+            variant.asset, variant, deadline=request_deadline
+        )
 
         cost = request.cost_symbols
-        deadline = time.perf_counter() + self.config.admission_timeout_s
+        admit_by = time.perf_counter() + self.config.admission_timeout_s
+        if request_deadline is not None:
+            admit_by = min(admit_by, request_deadline)
         with self._cond:
             waited = False
             while (
@@ -281,8 +377,20 @@ class RecoilService:
                 if not waited:
                     waited = True
                     self.metrics.record_admission_wait()
-                remaining = deadline - time.perf_counter()
+                remaining = admit_by - time.perf_counter()
                 if remaining <= 0 or not self._cond.wait(remaining):
+                    now = time.perf_counter()
+                    if (
+                        request_deadline is not None
+                        and now >= request_deadline
+                    ):
+                        self.metrics.record_deadline_expired()
+                        raise DeadlineError(
+                            f"request deadline ({timeout:.3g}s) expired "
+                            f"while blocked on admission "
+                            f"({self._inflight_symbols:,} symbols in "
+                            f"flight)"
+                        )
                     self.metrics.record_admission_rejected()
                     raise AdmissionError(
                         f"admission timed out after "
@@ -307,21 +415,36 @@ class RecoilService:
         """Decode asset ``name`` as a ``capacity``-thread client would,
         through the batched service path.
 
-        :param timeout: seconds to wait for the batch to complete
-            (``None`` = forever).
+        :param timeout: per-request deadline in seconds (``None`` =
+            no deadline).  Enforced service-side: a request that is
+            still queued when the deadline passes is failed with
+            :class:`~repro.errors.DeadlineError` without occupying
+            kernel time.
         :returns: the decoded symbol array (bit-identical to
             :func:`repro.core.api.recoil_decompress` on the served
             bytes).
         :raises ServeError: unknown asset or closed service.
         :raises AdmissionError: admission timed out (backpressure).
         :raises DecodeError: the stored container failed to decode.
-        :raises TimeoutError: ``timeout`` elapsed first.
+        :raises DeadlineError: the deadline expired before the batch
+            ran.
+        :raises TimeoutError: the deadline passed while the batch was
+            already executing (the dispatcher only enforces deadlines
+            *before* kernel dispatch; an in-kernel request runs to
+            completion, this client just stops waiting for it).
         """
-        return self.submit(name, capacity).result(timeout)
+        request = self.submit(name, capacity, timeout=timeout)
+        if request.deadline is None:
+            return request.result()
+        # Small grace past the deadline so the dispatcher's typed
+        # DeadlineError (set at pop_expired) wins over a bare client
+        # TimeoutError in the common still-queued case.
+        remaining = request.deadline - time.perf_counter()
+        return request.result(max(remaining, 0.0) + 0.1)
 
     def metrics_snapshot(self) -> dict:
         """JSON-able service counters (requests, batches, shrink cache,
-        admission) plus store statistics — see
+        admission, resilience) plus store statistics — see
         :class:`repro.serve.metrics.ServeMetrics`."""
         snap = self.metrics.snapshot()
         snap["store"] = {
@@ -329,6 +452,17 @@ class RecoilService:
             "shrink_cache_entries": len(self.store.cache),
             "shrink_cache_evictions": self.store.cache.evictions,
         }
+        snap["resilience"]["backend"] = {
+            "configured": self._configured_backend,
+            "effective": self._backend,
+        }
+        shards = self._shards
+        if shards is not None:
+            snap["resilience"]["shards"] = {
+                "respawns": shards.respawns,
+                "dead_workers": shards.dead_workers(),
+                "pool_broken": shards.broken,
+            }
         return snap
 
     # -- dispatcher ----------------------------------------------------
@@ -342,7 +476,9 @@ class RecoilService:
                 while self._running and not len(self._batcher):
                     self._cond.wait()
                 # Hold the batch open until the window closes or the
-                # lane budget fills; new arrivals notify.
+                # lane budget fills; new arrivals notify.  The
+                # batcher's deadline() also covers per-request
+                # deadlines, so an expiry wakes this wait promptly.
                 while (
                     self._running
                     and len(self._batcher)
@@ -353,13 +489,87 @@ class RecoilService:
                         self._cond.wait(pause)
                 if not self._running:
                     return
-                batch = self._batcher.pop_batch()
+                # Deadline enforcement happens HERE, before dispatch:
+                # an expired request is dropped from the queue and
+                # never occupies kernel time.
+                expired = self._batcher.pop_expired()
+                if expired:
+                    for req in expired:
+                        self._inflight_symbols -= req.cost_symbols
+                    self._cond.notify_all()
+                batch = []
+                if len(self._batcher) and self._batcher.ready():
+                    batch = self._batcher.pop_batch()
+            for req in expired:
+                self.metrics.record_deadline_expired()
+                req.set_error(
+                    DeadlineError(
+                        f"deadline expired after "
+                        f"{req.latency_s:.3g}s in queue "
+                        f"(asset {req.asset.name!r})"
+                    )
+                )
+                self.metrics.record_completion(req.latency_s, ok=False)
             if batch:
+                self._maybe_repromote()
                 self._execute(batch, arena)
                 with self._cond:
                     for req in batch:
                         self._inflight_symbols -= req.cost_symbols
                     self._cond.notify_all()
+
+    # -- self-healing (DESIGN.md §15) ----------------------------------
+
+    def _degrade(self) -> None:
+        """Record a process→thread fall and schedule the first
+        re-promotion probe (dispatcher thread only)."""
+        self.metrics.record_degradation()
+        self._backend = "thread"
+        self._promote_fails = 0
+        self._repromote_at = (
+            time.perf_counter() + self.config.repromote_cooldown_s
+        )
+
+    def _maybe_repromote(self) -> None:
+        """Probe the shard pool after a degradation cooldown and
+        promote back to the process backend when it answers.
+
+        Runs on the dispatcher thread just before a batch executes —
+        so a promotion applies to real traffic immediately.  A failed
+        probe doubles the cooldown (capped).  A terminally broken or
+        closed pool is replaced with a fresh one (safe here: the
+        executor spawn-guards against forking a threaded process).
+        """
+        if (
+            self._configured_backend != "process"
+            or self._backend == "process"
+            or self._shards is None
+            or time.perf_counter() < self._repromote_at
+        ):
+            return
+        self.metrics.record_promotion_probe()
+        try:
+            if self._shards.broken or self._shards.closed:
+                from repro.parallel import shards as shards_mod
+
+                fresh = shards_mod.ShardedExecutor(
+                    self.config.decode_workers
+                )
+                self._shards.close()
+                self._shards = fresh
+            self._shards.warm()
+        except ParallelismError:
+            self._promote_fails += 1
+            cooldown = min(
+                self.config.repromote_cooldown_s
+                * 2**self._promote_fails,
+                self.config.repromote_cooldown_cap_s,
+            )
+            self._repromote_at = time.perf_counter() + cooldown
+            return
+        self._backend = "process"
+        self._promote_fails = 0
+        self.metrics.record_promotion()
 
     def _run_batch(
         self, batch: list[DecodeRequest], arena: ScratchArena
@@ -372,6 +582,9 @@ class RecoilService:
         the fused tasks across ``decode_workers`` — the same LPT shard
         plan either way, bit-identical output on every path.
         """
+        faults.fire(faults.BATCH_DISPATCH)
+        for req in batch:
+            faults.fire(faults.SERVE_REQUEST, key=req.asset.name)
         first = batch[0].asset
         segments = [req.segment() for req in batch]
         if self._backend == "fused":
@@ -396,10 +609,15 @@ class RecoilService:
             backend=self._backend,
             executor=self._shards,
         )
-        if tasks and pooled.backend != self._backend:
-            # A shard worker died and decode_with_pool fell back to
-            # threads: make the degradation visible to operators.
-            self._backend = pooled.backend
+        if (
+            tasks
+            and self._backend == "process"
+            and pooled.backend != "process"
+        ):
+            # A shard worker died (or shm ran dry) and decode_with_pool
+            # fell back to threads: record the degradation and schedule
+            # a re-promotion probe — the output is still bit-identical.
+            self._degrade()
         stats = combine_stats(pooled.per_worker_stats)
         stats.tasks = len(tasks)
         return MultiRunResult(out=pooled.symbols, slices=slices, stats=stats)
@@ -410,14 +628,23 @@ class RecoilService:
         t0 = time.perf_counter()
         try:
             result = self._run_batch(batch, arena)
-        except Exception as exc:  # fail the whole batch, keep serving
+        except Exception as exc:
             elapsed = time.perf_counter() - t0
-            for req in batch:
-                req.set_error(exc)
-                self.metrics.record_completion(req.latency_s, ok=False)
             self.metrics.record_batch(
                 len(batch), sum(r.task_lanes for r in batch), 0, elapsed
             )
+            if len(batch) == 1:
+                req = batch[0]
+                req.set_error(exc)
+                self.metrics.record_completion(req.latency_s, ok=False)
+                return
+            # Poison isolation: one bad request must not fail its
+            # batchmates.  Retry each request alone through the same
+            # path — innocents decode bit-identically (the kernel is
+            # deterministic and each solo run sees only its own
+            # segment), and only the poisoned request re-raises.
+            self.metrics.record_poison_batch()
+            self._retry_individually(batch, arena)
             return
         elapsed = time.perf_counter() - t0
         for req, symbols in zip(batch, result.segment_outputs()):
@@ -429,3 +656,40 @@ class RecoilService:
             result.stats.symbols_decoded,
             elapsed,
         )
+
+    def _retry_individually(
+        self, batch: list[DecodeRequest], arena: ScratchArena
+    ) -> None:
+        """Re-run a failed batch one request at a time (poison
+        isolation).  Requests whose deadline lapsed during the failed
+        group attempt are failed without kernel time, like any other
+        expired request."""
+        for req in batch:
+            now = time.perf_counter()
+            if req.deadline is not None and now >= req.deadline:
+                self.metrics.record_deadline_expired()
+                req.set_error(
+                    DeadlineError(
+                        f"deadline expired during poison-isolation "
+                        f"retry (asset {req.asset.name!r})"
+                    )
+                )
+                self.metrics.record_completion(req.latency_s, ok=False)
+                continue
+            t0 = time.perf_counter()
+            try:
+                solo = self._run_batch([req], arena)
+            except Exception as exc:
+                elapsed = time.perf_counter() - t0
+                self.metrics.record_poison_retry(isolated=True)
+                self.metrics.record_batch(1, req.task_lanes, 0, elapsed)
+                req.set_error(exc)
+                self.metrics.record_completion(req.latency_s, ok=False)
+                continue
+            elapsed = time.perf_counter() - t0
+            self.metrics.record_poison_retry(isolated=False)
+            req.set_result(solo.segment_outputs()[0])
+            self.metrics.record_completion(req.latency_s, ok=True)
+            self.metrics.record_batch(
+                1, solo.stats.tasks, solo.stats.symbols_decoded, elapsed
+            )

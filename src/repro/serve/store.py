@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import faults
 from repro.core.container import ParsedContainer, parse_container
 from repro.core.decoder import build_thread_tasks
 from repro.core.metadata import RecoilMetadata
@@ -182,6 +183,7 @@ class AssetStore:
         """Encode ``data`` once at maximum parallelism and store it."""
         from repro.core.api import recoil_compress
 
+        faults.fire(faults.STORE_ENCODE)
         blob = recoil_compress(
             np.asarray(data),
             num_splits=(

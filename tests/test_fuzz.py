@@ -15,7 +15,12 @@ import numpy as np
 import pytest
 
 from repro.core import RecoilCodec, parse_container, recoil_shrink
-from repro.errors import ReproError
+from repro.errors import (
+    ContainerError,
+    MetadataError,
+    ModelError,
+    ReproError,
+)
 from repro.tans import MultiansCodec, TansTable
 
 ACCEPTABLE = (ReproError, ValueError, OverflowError, MemoryError, IndexError)
@@ -101,3 +106,117 @@ class TestMultiansFuzz:
         # tANS self-synchronizes, so payload corruption yields locally
         # wrong output rather than an error — that is expected.
         assert len(out) == 5_000
+
+
+#: the ONLY errors the ingest surfaces may raise on malformed bytes.
+STRICT = (ContainerError, MetadataError)
+
+
+class TestIngestStrictErrorSurface:
+    """`put_container` and `recoil info` face untrusted bytes directly:
+    they must raise ContainerError/MetadataError, never a builtin
+    (IndexError, struct.error, ValueError) leaking from a parser."""
+
+    @pytest.mark.parametrize("cut", [1, 2, 5, 9, 17, 33, 100, 999])
+    def test_truncation_through_put_container(self, blob, cut):
+        from repro.serve import AssetStore
+
+        store = AssetStore()
+        with pytest.raises(STRICT):
+            store.put_container("x", blob[: len(blob) - cut])
+
+    @pytest.mark.parametrize("length", [0, 1, 3, 4, 5, 6, 7, 11])
+    def test_tiny_blobs_through_put_container(self, blob, length):
+        from repro.serve import AssetStore
+
+        store = AssetStore()
+        with pytest.raises(STRICT):
+            store.put_container("x", blob[:length])
+
+    @pytest.mark.parametrize("seed", range(48))
+    def test_bit_flips_through_put_container(self, blob, seed):
+        from repro.serve import AssetStore
+
+        r = np.random.default_rng(1000 + seed)
+        # Bias half the flips into the header/metadata region where
+        # the parsers live; payload flips parse fine by design.
+        hi = len(blob) if seed % 2 else min(len(blob), 600)
+        bad = _flip(blob, int(r.integers(0, hi)), int(r.integers(1, 256)))
+        store = AssetStore()
+        try:
+            store.put_container("x", bad)
+        except STRICT:
+            pass  # typed rejection is the contract
+
+    @pytest.mark.parametrize("seed", range(24))
+    def test_bit_flips_through_parse_container(self, blob, seed):
+        r = np.random.default_rng(2000 + seed)
+        bad = _flip(
+            blob,
+            int(r.integers(0, min(len(blob), 600))),
+            int(r.integers(1, 256)),
+        )
+        try:
+            parse_container(bad)
+        except STRICT:
+            pass
+
+    def test_implausible_alphabet_rejected_typed(self):
+        # A model blob claiming a 2^40-symbol alphabet must refuse
+        # with a typed error, not allocate its way to MemoryError.
+        from repro.bitio.varint import encode_uvarint
+        from repro.core.container import MAGIC, VERSION
+        from repro.rans.model import SymbolModel
+
+        with pytest.raises(ModelError):
+            SymbolModel.from_bytes(
+                encode_uvarint(11) + encode_uvarint(1 << 40)
+            )
+        # Through the container surface the same corruption converts
+        # to the strict ingest error type.
+        lanes = 4
+        evil = (
+            MAGIC
+            + bytes([VERSION, 0x01, 11])  # flags: embedded model
+            + encode_uvarint(lanes)
+            + encode_uvarint(100)  # num_symbols
+            + encode_uvarint(50)  # num_words
+            + b"\0" * (4 * lanes)  # final states
+            + encode_uvarint(11)  # model quant_bits
+            + encode_uvarint(1 << 40)  # model alphabet: absurd
+        )
+        with pytest.raises(ContainerError, match="model"):
+            parse_container(evil)
+
+    def test_implausible_entry_count_rejected_typed(self):
+        from repro.bitio.varint import encode_uvarint
+        from repro.core.serialization import parse_metadata
+
+        bogus = (
+            encode_uvarint(32)  # lanes
+            + encode_uvarint(1000)  # num_symbols
+            + encode_uvarint(100)  # num_words
+            + encode_uvarint(1 << 50)  # entry count >> section size
+        )
+        with pytest.raises(MetadataError, match="implausible"):
+            parse_metadata(bogus)
+
+    @pytest.mark.parametrize("cut", [1, 8, 64])
+    def test_cli_info_fails_controlled(self, blob, cut, tmp_path, capsys):
+        from repro.cli import main
+
+        bad = tmp_path / "bad.rcl"
+        bad.write_bytes(blob[: len(blob) - cut])
+        rc = main(["info", str(bad)])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_cli_info_garbage_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        r = np.random.default_rng(3)
+        bad = tmp_path / "junk.rcl"
+        bad.write_bytes(bytes(r.integers(0, 256, 800, dtype=np.uint8)))
+        rc = main(["info", str(bad)])
+        assert rc == 1
+        assert "error:" in capsys.readouterr().err

@@ -396,3 +396,82 @@ class TestService:
         assert snap["requests"]["completed"] == 48
         assert snap["requests"]["failed"] == 0
         assert snap["batches"]["largest_requests"] >= 2  # fusion happened
+
+
+class TestMetricsUnderConcurrency:
+    """Satellite: ServeMetrics must stay consistent while clients and
+    snapshot readers race (no torn reads, counters reconcile)."""
+
+    def test_snapshots_consistent_while_submitters_race(
+        self, store, payload
+    ):
+        clients, per_client = 8, 4
+        config = ServiceConfig(batch_window_s=0.005)
+        errors: list[Exception] = []
+        violations: list[str] = []
+        done = threading.Event()
+
+        with RecoilService(store=store, config=config) as svc:
+
+            def client(worker: int) -> None:
+                try:
+                    for i in range(per_client):
+                        cap = (worker + i) % 16 + 1
+                        out = svc.decompress("hero", cap, timeout=120)
+                        if not np.array_equal(out, payload):
+                            raise AssertionError("bit mismatch")
+                except Exception as exc:
+                    errors.append(exc)
+
+            def watcher() -> None:
+                # Snapshot continuously while traffic flows; every
+                # view must be internally consistent.
+                while not done.is_set():
+                    snap = svc.metrics_snapshot()
+                    reqs = snap["requests"]
+                    if reqs["completed"] + reqs["failed"] > reqs[
+                        "submitted"
+                    ]:
+                        violations.append(
+                            f"finished > submitted: {reqs}"
+                        )
+                    flat = [
+                        v
+                        for section in snap.values()
+                        for v in (
+                            section.values()
+                            if isinstance(section, dict)
+                            else [section]
+                        )
+                        if isinstance(v, (int, float))
+                    ]
+                    if any(v < 0 for v in flat):
+                        violations.append(f"negative counter: {snap}")
+
+            threads = [
+                threading.Thread(target=client, args=(w,))
+                for w in range(clients)
+            ]
+            watchers = [
+                threading.Thread(target=watcher, daemon=True)
+                for _ in range(2)
+            ]
+            for t in watchers + threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=300)
+            done.set()
+            for t in watchers:
+                t.join(timeout=30)
+            snap = svc.metrics_snapshot()
+
+        assert not errors, errors
+        assert not violations, violations[:3]
+        total = clients * per_client
+        assert snap["requests"]["submitted"] == total
+        assert snap["requests"]["completed"] == total
+        assert snap["requests"]["failed"] == 0
+        # The resilience section exists and is all-zero on a clean run.
+        res = dict(snap["resilience"])
+        res.pop("backend")
+        assert all(v == 0 for v in res.values()), res

@@ -10,6 +10,7 @@ wedged pool).
 from __future__ import annotations
 
 import os
+import time
 
 import numpy as np
 import pytest
@@ -184,11 +185,47 @@ class TestRunMulti:
 
 
 class TestLifecycle:
-    def test_worker_crash_cleanup(self, encoded, provider11, skewed_bytes):
+    def test_worker_crash_respawns(self, encoded, provider11, skewed_bytes):
         tasks = build_thread_tasks(
             encoded.metadata, len(encoded.words), encoded.final_states
         )
-        with ShardedExecutor(2) as ex:
+        with ShardedExecutor(2, respawn_backoff_s=0.01) as ex:
+            ex.warm()
+            ex._workers[1].proc.terminate()
+            ex._workers[1].proc.join(timeout=5)
+            # The dispatch that discovers the crash fails...
+            with pytest.raises(ParallelismError):
+                ex.decode(
+                    provider11, 32, encoded.words, tasks,
+                    encoded.num_symbols, np.uint8,
+                )
+            # ...but the pool self-heals: the dead worker is respawned
+            # (after its backoff) and the next decode succeeds.
+            assert not ex.broken
+            deadline = time.monotonic() + 10
+            while True:
+                try:
+                    res = ex.decode(
+                        provider11, 32, encoded.words, tasks,
+                        encoded.num_symbols, np.uint8,
+                    )
+                    break
+                except ParallelismError:
+                    if time.monotonic() > deadline:
+                        raise
+            assert np.array_equal(res.symbols, skewed_bytes)
+            assert ex.respawns >= 1
+            assert ex.dead_workers() == 0
+        # The parent unlinked every segment it created for the job.
+        assert _leaked_segments() == []
+
+    def test_worker_crash_no_respawn_breaks_pool(
+        self, encoded, provider11
+    ):
+        tasks = build_thread_tasks(
+            encoded.metadata, len(encoded.words), encoded.final_states
+        )
+        with ShardedExecutor(2, respawn=False) as ex:
             ex.warm()
             ex._workers[1].proc.terminate()
             ex._workers[1].proc.join(timeout=5)
@@ -197,14 +234,14 @@ class TestLifecycle:
                     provider11, 32, encoded.words, tasks,
                     encoded.num_symbols, np.uint8,
                 )
+            # With respawn disabled the old fail-fast contract holds:
+            # the pool is terminally broken and refuses further work.
             assert ex.broken
-            # Broken pools refuse further work instead of hanging.
             with pytest.raises(ParallelismError):
                 ex.decode(
                     provider11, 32, encoded.words, tasks,
                     encoded.num_symbols, np.uint8,
                 )
-        # The parent unlinked every segment it created for the job.
         assert _leaked_segments() == []
 
     def test_default_executor_replaces_broken_pool(self):
@@ -254,14 +291,18 @@ class TestServeBackend:
         with pytest.raises(ServeError):
             ServiceConfig(decode_workers=0)
 
-    def test_worker_crash_degrades_service_visibly(self):
+    def test_worker_crash_degrades_then_repromotes(self):
         from repro.serve import RecoilService, ServiceConfig
 
         r = np.random.default_rng(29)
         data = np.minimum(np.floor(r.exponential(11.0, 20_000)), 255).astype(
             np.uint8
         )
-        cfg = ServiceConfig(decode_backend="process", decode_workers=2)
+        cfg = ServiceConfig(
+            decode_backend="process",
+            decode_workers=2,
+            repromote_cooldown_s=0.2,
+        )
         with RecoilService(config=cfg) as svc:
             svc.put_asset("a", data, num_splits=32)
             assert np.array_equal(svc.decompress("a", 8), data)
@@ -269,13 +310,30 @@ class TestServeBackend:
             for w in svc._shards._workers:
                 w.proc.terminate()
                 w.proc.join(timeout=5)
-            # The in-flight batch that discovers the crash fails...
-            with pytest.raises(ParallelismError):
-                svc.decompress("a", 8)
-            # ...then the service degrades to threads, keeps serving,
-            # and reports the truth.
+            # The batch that discovers the crash is transparently
+            # re-run on threads — the client never sees the failure,
+            # only the metrics do.
             assert np.array_equal(svc.decompress("a", 8), data)
             assert svc.decode_backend == "thread"
+            snap = svc.metrics_snapshot()
+            assert snap["resilience"]["degradations"] == 1
+            assert snap["requests"]["failed"] == 0
+            # After the cooldown the dispatcher probes the pool (the
+            # executor respawned the dead workers) and promotes back.
+            deadline = time.monotonic() + 15
+            while svc.decode_backend != "process":
+                time.sleep(0.05)
+                assert np.array_equal(svc.decompress("a", 8), data)
+                if time.monotonic() > deadline:
+                    pytest.fail("service never re-promoted to process")
+            snap = svc.metrics_snapshot()
+            assert snap["resilience"]["promotions"] >= 1
+            assert snap["resilience"]["promotion_probes"] >= 1
+            assert snap["resilience"]["backend"] == {
+                "configured": "process",
+                "effective": "process",
+            }
+            assert np.array_equal(svc.decompress("a", 8), data)
         assert _leaked_segments() == []
 
     def test_process_service_falls_back_gracefully(self, monkeypatch):
