@@ -7,6 +7,8 @@ Subcommands mirror the content-delivery workflow:
 - ``recoil decompress IN OUT [--max-parallelism 8]``
 - ``recoil info IN [--json]``  (container inspection)
 - ``recoil serve-bench``  (batched content-delivery throughput)
+- ``recoil serve --port 9090``  (network serving daemon; Ctrl-C drains)
+- ``recoil load-bench``  (open-loop tail-latency harness over TCP)
 
 Only static-model containers are supported from the CLI (adaptive
 model banks are API-level constructs carried by a host format).
@@ -125,6 +127,102 @@ def _cmd_serve_bench(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """Network serving daemon: stand up a service, listen, drain on
+    SIGINT/SIGTERM.  A second signal skips the drain grace and tears
+    the service down immediately (``RecoilService.close`` is
+    idempotent and re-entrant, so the race with the draining main
+    thread is safe)."""
+    import signal
+    import threading
+
+    from repro.data import text_surrogate
+    from repro.serve.net import NetConfig, NetServer
+    from repro.serve.service import RecoilService, ServiceConfig
+
+    config = ServiceConfig(
+        decode_backend=args.backend, decode_workers=args.workers
+    )
+    net_config = NetConfig(
+        host=args.host,
+        port=args.port,
+        max_connections=args.max_connections,
+        drain_timeout_s=args.drain_timeout,
+    )
+    with RecoilService(config=config) as service:
+        for path_spec in args.load or []:
+            name, _, path = path_spec.partition("=")
+            if not name or not path:
+                print(
+                    f"error: --load wants NAME=PATH, got {path_spec!r}",
+                    file=sys.stderr,
+                )
+                return 2
+            service.put_container(name, open(path, "rb").read())
+        for i in range(args.demo_assets):
+            data = text_surrogate(
+                args.symbols, target_entropy=5.29, seed=11 + i
+            )
+            service.put_asset(f"asset{i}", data, num_splits=args.splits)
+
+        stop = threading.Event()
+
+        def on_signal(signum, frame):
+            if stop.is_set():
+                # Second signal: the user is done waiting.  close() is
+                # re-entrant, so racing the draining main thread is ok.
+                service.close()
+            stop.set()
+
+        signal.signal(signal.SIGINT, on_signal)
+        signal.signal(signal.SIGTERM, on_signal)
+
+        with NetServer(service, net_config) as server:
+            host, port = server.address
+            print(
+                f"recoil serve: listening on {host}:{port} "
+                f"({args.demo_assets} demo assets, "
+                f"{len(args.load or [])} loaded containers, "
+                f"cap {args.max_connections} connections)",
+                flush=True,
+            )
+            stop.wait()
+            print("recoil serve: draining...", flush=True)
+            drain = server.shutdown()
+        snap = server.metrics.snapshot()
+        print(
+            f"recoil serve: drained {drain['clean']} clean / "
+            f"{drain['forced']} forced; served "
+            f"{snap['requests']['ok']} requests over "
+            f"{snap['connections']['opened']} connections "
+            f"({snap['protocol_errors']} protocol errors, "
+            f"{snap['deadline_kills']['total']} deadline kills)",
+            flush=True,
+        )
+    return 0
+
+
+def _cmd_load_bench(args) -> int:
+    from repro.serve.loadgen import render_load_table, run_load_bench
+
+    result = run_load_bench(
+        symbols=args.symbols,
+        num_assets=args.assets,
+        rate_hz=args.rate,
+        duration_s=args.duration,
+        backend=args.backend,
+        workers=args.workers,
+        max_connections=args.max_connections,
+        faults=args.faults,
+        seed=args.seed,
+    )
+    if args.json:
+        print(json.dumps(result, indent=2))
+    else:
+        print(render_load_table(result))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="recoil",
@@ -190,6 +288,62 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--json", action="store_true",
                    help="emit the full result as JSON")
     b.set_defaults(func=_cmd_serve_bench)
+
+    v = sub.add_parser(
+        "serve",
+        help="network serving daemon (drains gracefully on SIGINT/SIGTERM)",
+    )
+    v.add_argument("--host", default="127.0.0.1")
+    v.add_argument("--port", type=int, default=9090,
+                   help="TCP port (0 = OS-assigned; printed at startup)")
+    v.add_argument("--max-connections", type=int, default=64,
+                   help="concurrent-connection cap; excess is shed with "
+                   "RETRY_AFTER")
+    v.add_argument("--drain-timeout", type=float, default=5.0,
+                   help="grace (s) for in-flight requests at shutdown")
+    v.add_argument("--backend", default="fused",
+                   choices=("fused", "thread", "process"),
+                   help="batch execution backend")
+    v.add_argument("--workers", type=int, default=2,
+                   help="fan-out worker count for thread/process backends")
+    v.add_argument("--demo-assets", type=int, default=2,
+                   help="surrogate assets encoded at startup (asset0..N-1)")
+    v.add_argument("--symbols", type=int, default=50_000,
+                   help="demo asset size in symbols")
+    v.add_argument("--splits", type=int, default=64,
+                   help="encoded splits per demo asset")
+    v.add_argument("--load", action="append", metavar="NAME=PATH",
+                   help="serve an existing container file (repeatable)")
+    v.set_defaults(func=_cmd_serve)
+
+    lb = sub.add_parser(
+        "load-bench",
+        help="open-loop tail-latency harness against a local server",
+    )
+    lb.add_argument("--symbols", type=int, default=50_000,
+                    help="asset size in symbols")
+    lb.add_argument("--assets", type=int, default=4,
+                    help="number of assets (Zipf-popular)")
+    lb.add_argument("--rate", type=float, default=100.0,
+                    help="offered request rate (Poisson arrivals, Hz)")
+    lb.add_argument("--duration", type=float, default=2.0,
+                    help="open-loop run length in seconds")
+    lb.add_argument("--backend", default="fused",
+                    choices=("fused", "thread", "process"),
+                    help="batch execution backend")
+    lb.add_argument("--workers", type=int, default=2,
+                    help="fan-out worker count for thread/process backends")
+    lb.add_argument("--max-connections", type=int, default=64,
+                    help="server connection cap")
+    lb.add_argument("--faults", default=None, metavar="SPEC",
+                    help="chaos spec armed for a second, faulted run "
+                    "(e.g. 'net.read:p=0.05,net.stall:p=0.1') — the "
+                    "report then shows clean and faulted side by side")
+    lb.add_argument("--seed", type=int, default=11,
+                    help="workload seed (arrivals, popularity, personas)")
+    lb.add_argument("--json", action="store_true",
+                    help="emit the full result as JSON")
+    lb.set_defaults(func=_cmd_load_bench)
     return parser
 
 

@@ -47,6 +47,15 @@ class ServeError(ReproError):
     against a closed service, duplicate asset name, ...)."""
 
 
+class ProtocolError(ServeError):
+    """A network peer violated the wire protocol: bad magic, unknown
+    frame type, an implausible declared length, a malformed request
+    body, or a corrupted response stream.  Server-side it is answered
+    with a typed error frame and the connection is closed (after a
+    framing violation the byte stream cannot be trusted); client-side
+    it means the server's response failed validation."""
+
+
 class AdmissionError(ServeError):
     """A request was refused by the service's admission control: the
     in-flight work bound stayed saturated past the admission

@@ -72,6 +72,19 @@ BATCH_DISPATCH = "batch.dispatch"
 SERVE_REQUEST = "serve.request"
 #: fused multi-buffer kernel entry (:func:`~repro.parallel.fused.fused_run_multi`).
 KERNEL_EXEC = "kernel.exec"
+#: a just-accepted connection fails before registration
+#: (:class:`repro.serve.net.NetServer` accept loop).
+NET_ACCEPT = "net.accept"
+#: a connection's frame read fails mid-request (peer reset).
+NET_READ = "net.read"
+#: a connection's response write fails (peer reset).
+NET_WRITE = "net.write"
+#: the server stalls before writing a response (consumed via
+#: :func:`triggered`, not :func:`fire`: the connection thread *sleeps*
+#: for the configured stall duration instead of raising — the injected
+#: failure is lateness, which drives client-side timeouts and the
+#: drain/force-close machinery).
+NET_STALL = "net.stall"
 
 
 def _oserror(point: str) -> BaseException:
@@ -94,6 +107,10 @@ POINTS: dict[str, tuple[str, object]] = {
     BATCH_DISPATCH: ("fused batch hand-off on the dispatcher", _fault),
     SERVE_REQUEST: ("per-request execution (key = asset name)", _fault),
     KERNEL_EXEC: ("fused multi-buffer kernel entry", _fault),
+    NET_ACCEPT: ("accepted connection fails before registration", _oserror),
+    NET_READ: ("connection frame read fails (peer reset)", _oserror),
+    NET_WRITE: ("connection response write fails (peer reset)", _oserror),
+    NET_STALL: ("server stalls before writing a response", _fault),
 }
 
 

@@ -13,11 +13,20 @@ into a subsystem:
 - :mod:`repro.serve.service` — the :class:`RecoilService` facade:
   dispatcher thread, admission control/backpressure bounded by cost
   model estimates;
-- :mod:`repro.serve.metrics` — per-request and per-batch counters.
+- :mod:`repro.serve.metrics` — per-request and per-batch counters;
+- :mod:`repro.serve.protocol` / :mod:`repro.serve.net` /
+  :mod:`repro.serve.client` — the network front-end: a
+  length-prefixed wire protocol, a hardened threaded socket server
+  (deadlines, shedding, graceful drain), and the backoff-aware
+  client (DESIGN.md §16);
+- :mod:`repro.serve.loadgen` — open-loop tail-latency harness with
+  hostile client personas.
 """
 
 from repro.serve.batcher import BatchPolicy, DecodeRequest, RequestBatcher
-from repro.serve.metrics import ServeMetrics
+from repro.serve.client import RecoilClient
+from repro.serve.metrics import NetMetrics, ServeMetrics
+from repro.serve.net import NetConfig, NetServer
 from repro.serve.service import RecoilService, ServiceConfig
 from repro.serve.store import (
     AssetStore,
@@ -30,6 +39,10 @@ __all__ = [
     "AssetStore",
     "BatchPolicy",
     "DecodeRequest",
+    "NetConfig",
+    "NetMetrics",
+    "NetServer",
+    "RecoilClient",
     "RecoilService",
     "RequestBatcher",
     "ServeMetrics",

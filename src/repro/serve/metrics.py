@@ -1,4 +1,4 @@
-"""Serving metrics: per-request and per-batch counters.
+"""Serving metrics: per-request, per-batch, and per-connection counters.
 
 One :class:`ServeMetrics` instance is owned by a
 :class:`~repro.serve.service.RecoilService` and updated from both the
@@ -6,6 +6,13 @@ client threads (request lifecycle, admission waits) and the dispatcher
 thread (batch execution), so every mutation is lock-protected.  The
 benchmarks (``benchmarks/bench_serve.py``) and ``recoil serve-bench``
 read :meth:`snapshot` — a plain dict, safe to serialize.
+
+:class:`NetMetrics` is the same idea for the network front-end
+(:class:`~repro.serve.net.NetServer`): connection lifecycle, protocol
+errors, deadline kills, load shedding and drain outcomes, updated from
+the accept loop and every connection thread.  A server attaches its
+instance to the service (``service.attach_network_metrics``) so
+``metrics_snapshot()`` reports one unified view under ``"network"``.
 """
 
 from __future__ import annotations
@@ -181,5 +188,140 @@ class ServeMetrics:
                     "poison_retries": self.poison_retries,
                     "poison_isolated": self.poison_isolated,
                     "deadline_expired": self.deadline_expired,
+                },
+            }
+
+
+class NetMetrics:
+    """Thread-safe counters for one network front-end.
+
+    Invariants asserted by the test suite (``tests/test_serve.py``):
+
+    - ``connections.opened == connections.closed + connections.active``
+      at every snapshot (opened/closed are recorded under one lock);
+    - ``connections.active == 0`` once the server has shut down;
+    - ``requests.ok + requests.failed`` never exceeds the frames a
+      clean client sent (a killed connection loses at most the one
+      request in flight).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        # -- connection lifecycle --------------------------------------
+        self.connections_opened = 0
+        self.connections_closed = 0
+        self.connections_rejected = 0  # over the cap (shed at accept)
+        self.peak_active = 0
+        # -- per-request -----------------------------------------------
+        self.requests_ok = 0
+        self.requests_failed = 0  # answered with a typed error frame
+        self.bytes_read = 0
+        self.bytes_written = 0
+        # -- robustness ------------------------------------------------
+        self.protocol_errors = 0  # malformed frames answered + closed
+        self.transport_errors = 0  # peer resets / mid-frame disconnects
+        self.deadline_kills_read = 0  # slow-loris / dead-peer reads
+        self.deadline_kills_write = 0  # slow-reader writes
+        self.retry_afters_sent = 0  # shed responses (cap + admission)
+        self.stalls_injected = 0  # net.stall fault fires honored
+        # -- drain (shutdown) ------------------------------------------
+        self.drain_clean = 0  # connections that finished in time
+        self.drain_forced = 0  # hard-closed at the drain deadline
+
+    # ------------------------------------------------------------------
+
+    def connection_opened(self) -> None:
+        with self._lock:
+            self.connections_opened += 1
+            active = self.connections_opened - self.connections_closed
+            if active > self.peak_active:
+                self.peak_active = active
+
+    def connection_closed(self) -> None:
+        with self._lock:
+            self.connections_closed += 1
+
+    def connection_rejected(self) -> None:
+        with self._lock:
+            self.connections_rejected += 1
+            self.retry_afters_sent += 1
+
+    def record_request(self, ok: bool) -> None:
+        with self._lock:
+            if ok:
+                self.requests_ok += 1
+            else:
+                self.requests_failed += 1
+
+    def record_bytes(self, read: int = 0, written: int = 0) -> None:
+        with self._lock:
+            self.bytes_read += read
+            self.bytes_written += written
+
+    def record_protocol_error(self) -> None:
+        with self._lock:
+            self.protocol_errors += 1
+
+    def record_transport_error(self) -> None:
+        with self._lock:
+            self.transport_errors += 1
+
+    def record_deadline_kill(self, *, write: bool) -> None:
+        with self._lock:
+            if write:
+                self.deadline_kills_write += 1
+            else:
+                self.deadline_kills_read += 1
+
+    def record_retry_after(self) -> None:
+        with self._lock:
+            self.retry_afters_sent += 1
+
+    def record_stall(self) -> None:
+        with self._lock:
+            self.stalls_injected += 1
+
+    def record_drain(self, *, forced: bool) -> None:
+        with self._lock:
+            if forced:
+                self.drain_forced += 1
+            else:
+                self.drain_clean += 1
+
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """A consistent point-in-time view (plain dict)."""
+        with self._lock:
+            return {
+                "connections": {
+                    "opened": self.connections_opened,
+                    "closed": self.connections_closed,
+                    "active": (
+                        self.connections_opened - self.connections_closed
+                    ),
+                    "rejected": self.connections_rejected,
+                    "peak_active": self.peak_active,
+                },
+                "requests": {
+                    "ok": self.requests_ok,
+                    "failed": self.requests_failed,
+                    "bytes_read": self.bytes_read,
+                    "bytes_written": self.bytes_written,
+                },
+                "protocol_errors": self.protocol_errors,
+                "transport_errors": self.transport_errors,
+                "deadline_kills": {
+                    "read": self.deadline_kills_read,
+                    "write": self.deadline_kills_write,
+                    "total": (
+                        self.deadline_kills_read + self.deadline_kills_write
+                    ),
+                },
+                "retry_afters_sent": self.retry_afters_sent,
+                "stalls_injected": self.stalls_injected,
+                "drain": {
+                    "clean": self.drain_clean,
+                    "forced": self.drain_forced,
                 },
             }

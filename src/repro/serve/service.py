@@ -148,6 +148,15 @@ class RecoilService:
         self._batcher = RequestBatcher(self.config.batch_policy())
         self._inflight_symbols = 0
         self._running = True
+        # close() is reachable from signal handlers and racing threads
+        # (the network front-end's drain path): one winner tears down,
+        # everyone else waits on _close_done — and a re-entrant call
+        # from a signal handler interrupting the winner returns
+        # immediately instead of deadlocking on the winner's own locks.
+        self._close_lock = threading.Lock()
+        self._close_owner: threading.Thread | None = None
+        self._close_done = threading.Event()
+        self._net_metrics = None
         # The shard pool (when requested) starts BEFORE the dispatcher
         # thread: forking from a single-threaded process is the only
         # portable-safe moment.  Unavailable shared memory degrades to
@@ -202,39 +211,74 @@ class RecoilService:
     def close(self) -> None:
         """Stop accepting requests and fail anything still pending.
 
-        Idempotent.  Joins the dispatcher thread (bounded by
+        Idempotent and re-entrant: ``close()`` is reachable from
+        signal handlers and from multiple threads at once (the network
+        front-end's drain path, a double Ctrl-C).  Exactly one caller
+        — the *winner* — performs the teardown; a racing thread blocks
+        until the winner finishes (bounded by ``close_timeout_s``) and
+        returns quietly; a re-entrant call on the winner's own thread
+        (a signal handler interrupting the teardown) returns
+        immediately, because waiting there would deadlock the very
+        teardown it is waiting for.
+
+        The winner joins the dispatcher thread (bounded by
         ``close_timeout_s``), stops the shard pool (process backend),
         and fails queued requests with
         :class:`~repro.errors.ServeError`.
 
-        :raises ServeError: the dispatcher thread did not exit within
-            ``close_timeout_s`` (named in the message so operators can
-            find it) — the service is still marked closed and queued
-            requests are failed, but the wedged thread leaks.
+        :raises ServeError: (winner only) the dispatcher thread did
+            not exit within ``close_timeout_s`` (named in the message
+            so operators can find it) — the service is still marked
+            closed and queued requests are failed, but the wedged
+            thread leaks.
         """
-        with self._cond:
-            if not self._running:
+        if not self._close_lock.acquire(blocking=False):
+            # Someone is already closing.  If that someone is *this*
+            # thread (a signal handler interrupting our own teardown,
+            # or a callback fired from inside it), return now — any
+            # wait would deadlock.  Otherwise wait for the winner.
+            if self._close_owner is threading.current_thread():
                 return
-            self._running = False
-            self._cond.notify_all()
-        self._dispatcher.join(self.config.close_timeout_s)
-        wedged = self._dispatcher.is_alive()
-        if self._shards is not None:
-            self._shards.close()
-        with self._cond:
-            leftovers = self._batcher.drain()
-            self._inflight_symbols = 0
-            self._cond.notify_all()
-        for req in leftovers:
-            req.set_error(ServeError("service closed"))
-            self.metrics.record_completion(req.latency_s, ok=False)
-        if wedged:
-            raise ServeError(
-                f"dispatcher thread {self._dispatcher.name!r} did not "
-                f"exit within {self.config.close_timeout_s:.3g}s of "
-                f"close(); it is leaked (likely stuck in a kernel or a "
-                f"hung worker pipe)"
+            self._close_done.wait(self.config.close_timeout_s)
+            return
+        self._close_owner = threading.current_thread()
+        try:
+            if self._close_done.is_set():
+                return
+            with self._cond:
+                self._running = False
+                self._cond.notify_all()
+            # A close() issued *from* the dispatcher thread (a fault
+            # callback, a test) must not join itself.
+            if self._dispatcher is not threading.current_thread():
+                self._dispatcher.join(self.config.close_timeout_s)
+            wedged = (
+                self._dispatcher.is_alive()
+                and self._dispatcher is not threading.current_thread()
             )
+            if self._shards is not None:
+                self._shards.close()
+            with self._cond:
+                leftovers = self._batcher.drain()
+                self._inflight_symbols = 0
+                self._cond.notify_all()
+            for req in leftovers:
+                req.set_error(ServeError("service closed"))
+                self.metrics.record_completion(req.latency_s, ok=False)
+            self._close_done.set()
+            if wedged:
+                raise ServeError(
+                    f"dispatcher thread {self._dispatcher.name!r} did "
+                    f"not exit within {self.config.close_timeout_s:.3g}s "
+                    f"of close(); it is leaked (likely stuck in a "
+                    f"kernel or a hung worker pipe)"
+                )
+        finally:
+            # Set done even on a teardown error: waiters must not hang
+            # on a winner that raised.
+            self._close_done.set()
+            self._close_owner = None
+            self._close_lock.release()
 
     @property
     def closed(self) -> bool:
@@ -442,11 +486,26 @@ class RecoilService:
         remaining = request.deadline - time.perf_counter()
         return request.result(max(remaining, 0.0) + 0.1)
 
+    def attach_network_metrics(self, net_metrics) -> None:
+        """Register a front-end's :class:`~repro.serve.metrics.NetMetrics`
+        so :meth:`metrics_snapshot` reports a ``"network"`` section
+        (one unified operator view; called by
+        :class:`~repro.serve.net.NetServer`)."""
+        self._net_metrics = net_metrics
+
     def metrics_snapshot(self) -> dict:
         """JSON-able service counters (requests, batches, shrink cache,
-        admission, resilience) plus store statistics — see
-        :class:`repro.serve.metrics.ServeMetrics`."""
+        admission, resilience, and — when a network front-end is
+        attached — connection/protocol/drain counters under
+        ``"network"``) plus store statistics — see
+        :class:`repro.serve.metrics.ServeMetrics` and
+        :class:`repro.serve.metrics.NetMetrics`."""
         snap = self.metrics.snapshot()
+        snap["network"] = (
+            self._net_metrics.snapshot()
+            if self._net_metrics is not None
+            else None
+        )
         snap["store"] = {
             "assets": len(self.store),
             "shrink_cache_entries": len(self.store.cache),

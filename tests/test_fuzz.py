@@ -220,3 +220,209 @@ class TestIngestStrictErrorSurface:
         rc = main(["info", str(bad)])
         assert rc == 1
         assert "error:" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# Wire-protocol fuzzing (DESIGN.md §16).
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def net_server():
+    """One hardened server shared by every fuzz case — surviving the
+    whole gauntlet on a single instance IS the test."""
+    import repro.data as data_mod
+    from repro.serve import NetConfig, NetServer, RecoilService
+
+    payload = data_mod.text_surrogate(10_000, target_entropy=5.29, seed=11)
+    with RecoilService() as service:
+        service.put_asset("a", payload, num_splits=16)
+        config = NetConfig(
+            port=0, idle_timeout_s=5.0, read_timeout_s=2.0
+        )
+        with NetServer(service, config) as server:
+            yield server, payload
+
+
+def _assert_server_healthy(server, payload) -> None:
+    """A fresh, well-formed request must succeed bit-identically."""
+    from repro.serve import RecoilClient
+
+    host, port = server.address
+    with RecoilClient(host, port, timeout_s=30) as client:
+        out = client.decompress("a", 4)
+    assert np.array_equal(out, payload)
+
+
+class TestWireProtocolFuzz:
+    """Hostile bytes at the socket: every case must end in a typed
+    ``ST_ERROR`` frame or a clean close — never a crash, never a hang
+    — and the server must then serve a fresh well-formed request
+    bit-identically."""
+
+    def _open(self, server):
+        import socket
+
+        host, port = server.address
+        sock = socket.create_connection((host, port), timeout=10)
+        sock.settimeout(10)
+        return sock
+
+    def _expect_error_or_close(self, sock) -> None:
+        from repro.serve import protocol
+
+        buf = bytearray()
+        try:
+            while len(buf) < protocol.HEADER_BYTES:
+                chunk = sock.recv(protocol.HEADER_BYTES - len(buf))
+                if not chunk:
+                    return  # clean close: acceptable
+                buf += chunk
+            ftype, length = protocol.parse_header(
+                bytes(buf), protocol.RESPONSE_TYPES
+            )
+            assert ftype == protocol.ST_ERROR
+            body = bytearray()
+            while len(body) < length:
+                chunk = sock.recv(length - len(body))
+                if not chunk:
+                    return
+                body += chunk
+            exc = protocol.parse_error(bytes(body))
+            from repro.errors import ProtocolError
+
+            assert isinstance(exc, ProtocolError)
+        except (TimeoutError, ConnectionError, OSError):
+            return  # reset: also a controlled outcome
+        finally:
+            sock.close()
+
+    def test_garbage_bytes(self, net_server):
+        server, payload = net_server
+        r = np.random.default_rng(0)
+        for seed in range(8):
+            sock = self._open(server)
+            sock.sendall(bytes(r.integers(0, 256, 64, dtype=np.uint8)))
+            self._expect_error_or_close(sock)
+        _assert_server_healthy(server, payload)
+
+    def test_bad_magic(self, net_server):
+        server, payload = net_server
+        sock = self._open(server)
+        sock.sendall(b"XX\x01\x00\x00\x00\x00")
+        self._expect_error_or_close(sock)
+        _assert_server_healthy(server, payload)
+
+    def test_unknown_frame_type(self, net_server):
+        from repro.serve import protocol
+
+        server, payload = net_server
+        sock = self._open(server)
+        sock.sendall(protocol.MAGIC + b"\x7f\x00\x00\x00\x00")
+        self._expect_error_or_close(sock)
+        _assert_server_healthy(server, payload)
+
+    def test_response_type_as_request(self, net_server):
+        from repro.serve import protocol
+
+        server, payload = net_server
+        sock = self._open(server)
+        sock.sendall(protocol.encode_frame(protocol.ST_OK, b"sneaky"))
+        self._expect_error_or_close(sock)
+        _assert_server_healthy(server, payload)
+
+    def test_oversized_declared_length(self, net_server):
+        """A 4 GiB declared body must be rejected from the header
+        alone — before any allocation, without reading the body."""
+        import struct
+
+        from repro.serve import protocol
+
+        server, payload = net_server
+        sock = self._open(server)
+        sock.sendall(
+            protocol.MAGIC
+            + bytes([protocol.OP_PING])
+            + struct.pack(">I", 0xFFFF_FFFF)
+        )
+        self._expect_error_or_close(sock)
+        _assert_server_healthy(server, payload)
+
+    @pytest.mark.parametrize("cut", [1, 3, 6])
+    def test_truncated_header_then_disconnect(self, net_server, cut):
+        from repro.serve import protocol
+
+        server, payload = net_server
+        frame = protocol.encode_decode_request("a", 4)
+        sock = self._open(server)
+        sock.sendall(frame[:cut])
+        sock.close()  # mid-header disconnect
+        _assert_server_healthy(server, payload)
+
+    def test_midframe_disconnect(self, net_server):
+        from repro.serve import protocol
+
+        server, payload = net_server
+        frame = protocol.encode_decode_request("a", 4)
+        sock = self._open(server)
+        sock.sendall(frame[:-3])  # declared body longer than sent
+        sock.close()
+        _assert_server_healthy(server, payload)
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_bit_flipped_header(self, net_server, seed):
+        from repro.serve import protocol
+
+        server, payload = net_server
+        frame = bytearray(protocol.encode_decode_request("a", 4))
+        r = np.random.default_rng(seed)
+        pos = int(r.integers(0, protocol.HEADER_BYTES))
+        frame[pos] ^= int(r.integers(1, 256))
+        sock = self._open(server)
+        sock.sendall(bytes(frame))
+        # A flipped length byte may leave the server waiting for more
+        # body than we sent — close our end rather than waiting out
+        # its read deadline; the server must survive either way.
+        sock.close()
+        _assert_server_healthy(server, payload)
+
+    def test_malformed_body_typed_error(self, net_server):
+        """Valid header, garbage body: the cursor must reject it with
+        a typed ProtocolError frame."""
+        from repro.serve import protocol
+
+        server, payload = net_server
+        sock = self._open(server)
+        sock.sendall(
+            protocol.encode_frame(protocol.OP_DECODE, b"\x00")
+        )
+        self._expect_error_or_close(sock)
+        _assert_server_healthy(server, payload)
+
+    def test_zero_capacity_rejected(self, net_server):
+        from repro.serve import protocol
+
+        server, payload = net_server
+        name = b"\x00\x01a"
+        body = name + (0).to_bytes(4, "big") + (0).to_bytes(4, "big")
+        sock = self._open(server)
+        sock.sendall(protocol.encode_frame(protocol.OP_DECODE, body))
+        self._expect_error_or_close(sock)
+        _assert_server_healthy(server, payload)
+
+    def test_fuzz_storm_then_healthy(self, net_server):
+        """A burst of random hostile connections in a row; the server
+        must stay up and bit-exact throughout."""
+        server, payload = net_server
+        r = np.random.default_rng(99)
+        for _ in range(24):
+            sock = self._open(server)
+            n = int(r.integers(1, 40))
+            sock.sendall(bytes(r.integers(0, 256, n, dtype=np.uint8)))
+            if r.integers(0, 2):
+                self._expect_error_or_close(sock)
+            else:
+                sock.close()  # abandon mid-conversation
+        _assert_server_healthy(server, payload)
+        snap = server.metrics.snapshot()
+        assert snap["protocol_errors"] > 0

@@ -475,3 +475,174 @@ class TestMetricsUnderConcurrency:
         res = dict(snap["resilience"])
         res.pop("backend")
         assert all(v == 0 for v in res.values()), res
+
+
+class TestNetworkSnapshotInvariants:
+    """Satellite: with a network front-end attached,
+    ``metrics_snapshot()["network"]`` must stay internally consistent
+    while connections churn — every snapshot taken mid-storm obeys the
+    NetMetrics invariants, and the final one reconciles exactly."""
+
+    def test_no_network_section_without_frontend(self, service):
+        assert service.metrics_snapshot()["network"] is None
+
+    def test_invariants_under_concurrent_connections(self, store, payload):
+        from repro.serve import NetConfig, NetServer, RecoilClient
+
+        clients, per_client = 6, 3
+        errors: list[Exception] = []
+        violations: list[str] = []
+        done = threading.Event()
+
+        def check(net: dict) -> None:
+            conns = net["connections"]
+            if conns["opened"] != conns["closed"] + conns["active"]:
+                violations.append(f"opened != closed + active: {conns}")
+            if conns["peak_active"] < conns["active"]:
+                violations.append(f"peak < active: {conns}")
+            kills = net["deadline_kills"]
+            if kills["total"] != kills["read"] + kills["write"]:
+                violations.append(f"kill total torn: {kills}")
+            flat = [
+                v
+                for section in net.values()
+                for v in (
+                    section.values()
+                    if isinstance(section, dict)
+                    else [section]
+                )
+                if isinstance(v, (int, float))
+            ]
+            if any(v < 0 for v in flat):
+                violations.append(f"negative counter: {net}")
+
+        config = ServiceConfig(batch_window_s=0.005)
+        with RecoilService(store=store, config=config) as svc:
+            with NetServer(svc, NetConfig(port=0)) as server:
+                host, port = server.address
+
+                def client(worker: int) -> None:
+                    try:
+                        with RecoilClient(host, port, timeout_s=60) as c:
+                            for i in range(per_client):
+                                out = c.decompress("hero", 1 + (worker + i) % 4)
+                                if not np.array_equal(out, payload):
+                                    raise AssertionError("bit mismatch")
+                    except Exception as exc:  # propagate to main thread
+                        errors.append(exc)
+
+                def watcher() -> None:
+                    # Snapshot continuously while connections churn.
+                    while not done.is_set():
+                        check(svc.metrics_snapshot()["network"])
+
+                threads = [
+                    threading.Thread(target=client, args=(w,))
+                    for w in range(clients)
+                ]
+                watchers = [
+                    threading.Thread(target=watcher, daemon=True)
+                    for _ in range(2)
+                ]
+                for t in watchers + threads:
+                    t.start()
+                for t in threads:
+                    t.join(timeout=300)
+                assert not any(t.is_alive() for t in threads)
+                done.set()
+                for t in watchers:
+                    t.join(timeout=30)
+            net = svc.metrics_snapshot()["network"]
+
+        assert not errors, errors
+        assert not violations, violations[:3]
+        check(net)  # the final view obeys the same invariants...
+        # ... and reconciles exactly after shutdown.
+        assert net["connections"]["active"] == 0
+        assert net["connections"]["opened"] == net["connections"]["closed"]
+        assert net["connections"]["opened"] == clients
+        assert net["requests"]["ok"] == clients * per_client
+        assert net["requests"]["failed"] == 0
+        assert net["protocol_errors"] == 0
+
+
+class TestCloseReentrancy:
+    """Satellite fix: ``RecoilService.close()`` is reachable from
+    signal handlers and racing threads (the network front-end's drain
+    path) — it must be idempotent, safe under a racing double-close,
+    and re-entrant on the winner's own thread."""
+
+    def test_racing_closers_none_raise(self, store):
+        svc = RecoilService(store=store)
+        barrier = threading.Barrier(4)
+        errors: list[Exception] = []
+
+        def closer() -> None:
+            try:
+                barrier.wait(timeout=30)
+                svc.close()
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=closer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not any(t.is_alive() for t in threads)
+        assert not errors, errors
+        assert svc.closed
+
+    def test_second_closer_waits_for_winner(self, store):
+        # The loser must not return before the winner's teardown is
+        # done (a drain path that proceeds while the service is only
+        # half-closed would race the dispatcher).
+        svc = RecoilService(store=store)
+        in_teardown = threading.Event()
+        release = threading.Event()
+        real_drain = svc._batcher.drain
+
+        def slow_drain():
+            in_teardown.set()
+            release.wait(30)
+            return real_drain()
+
+        svc._batcher.drain = slow_drain
+        loser_returned = threading.Event()
+        winner = threading.Thread(target=svc.close)
+        winner.start()
+        assert in_teardown.wait(10)
+
+        def loser() -> None:
+            svc.close()
+            loser_returned.set()
+
+        t = threading.Thread(target=loser)
+        t.start()
+        # While the winner is wedged in teardown, the loser waits.
+        assert not loser_returned.wait(0.2)
+        release.set()
+        winner.join(30)
+        t.join(30)
+        assert loser_returned.is_set()
+        assert svc.closed
+
+    def test_reentrant_close_on_winner_thread_returns(self, store):
+        # A signal handler interrupting the winner's own teardown
+        # re-enters close() on the same thread: it must return
+        # immediately (any wait would deadlock the teardown it is
+        # waiting for).
+        svc = RecoilService(store=store)
+        reentered: list[bool] = []
+        real_drain = svc._batcher.drain
+
+        def drain_and_reenter():
+            svc.close()  # re-entrant on the winner's thread
+            reentered.append(True)
+            return real_drain()
+
+        svc._batcher.drain = drain_and_reenter
+        svc.close()  # must complete despite the re-entry
+        assert reentered
+        assert svc.closed
+        svc.close()  # still idempotent afterwards
