@@ -15,7 +15,8 @@ against; CI runs a short clean smoke and gates on p99 + zero protocol
 errors.  Usage::
 
     python benchmarks/bench_latency.py [--symbols 50000] [--rate 100]
-        [--duration 2.0] [--faults SPEC|none] [--out BENCH_latency.json]
+        [--duration 2.0] [--faults SPEC|none] [--trace trace.json]
+        [--out BENCH_latency.json]
 """
 
 from __future__ import annotations
@@ -49,6 +50,9 @@ def main(argv=None) -> int:
     ap.add_argument("--faults", default=DEFAULT_FAULTS,
                     help="chaos spec for the faulted run; 'none' skips it")
     ap.add_argument("--seed", type=int, default=11)
+    ap.add_argument("--trace", default=None, metavar="FILE",
+                    help="also write a Perfetto-loadable Chrome trace "
+                    "of the run (spans from accept to worker to write)")
     ap.add_argument(
         "--out",
         default=str(pathlib.Path(__file__).resolve().parents[1]
@@ -78,6 +82,7 @@ def main(argv=None) -> int:
         workers=args.workers,
         faults=faults,
         seed=args.seed,
+        trace_path=args.trace,
     )
     with open(args.out, "w") as fh:
         json.dump(result, fh, indent=2)

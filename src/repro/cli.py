@@ -9,6 +9,7 @@ Subcommands mirror the content-delivery workflow:
 - ``recoil serve-bench``  (batched content-delivery throughput)
 - ``recoil serve --port 9090``  (network serving daemon; Ctrl-C drains)
 - ``recoil load-bench``  (open-loop tail-latency harness over TCP)
+- ``recoil trace``  (fetch or validate a Chrome trace of a live server)
 
 Only static-model containers are supported from the CLI (adaptive
 model banks are API-level constructs carried by a host format).
@@ -136,10 +137,13 @@ def _cmd_serve(args) -> int:
     import signal
     import threading
 
+    from repro import trace
     from repro.data import text_surrogate
     from repro.serve.net import NetConfig, NetServer
     from repro.serve.service import RecoilService, ServiceConfig
 
+    if args.trace:
+        trace.enable()
     config = ServiceConfig(
         decode_backend=args.backend, decode_workers=args.workers
     )
@@ -215,11 +219,47 @@ def _cmd_load_bench(args) -> int:
         max_connections=args.max_connections,
         faults=args.faults,
         seed=args.seed,
+        trace_path=args.trace,
     )
     if args.json:
         print(json.dumps(result, indent=2))
     else:
         print(render_load_table(result))
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    """Fetch a live server's span ring as a Chrome trace (or validate
+    a trace file already on disk).
+
+    Fetch mode talks to a running ``recoil serve`` over TCP and writes
+    the Perfetto-loadable document to ``--out``; ``--validate FILE``
+    instead schema-checks an existing trace (the CI artifact gate)."""
+    from repro.trace import validate_chrome_trace, validate_chrome_trace_file
+
+    if args.validate is not None:
+        stats = validate_chrome_trace_file(args.validate)
+        print(
+            f"{args.validate}: OK — {stats['events']} events, "
+            f"{stats['spans']} spans, {len(stats['pids'])} pids "
+            f"({len(stats['worker_pids'])} workers), "
+            f"{stats['requests']} requests"
+        )
+        return 0
+    from repro.serve.client import RecoilClient
+
+    with RecoilClient(args.host, args.port) as client:
+        doc = client.trace(clear=args.clear)
+    stats = validate_chrome_trace(doc)
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1)
+        fh.write("\n")
+    print(
+        f"{args.out}: {stats['events']} events, {stats['spans']} spans, "
+        f"{len(stats['pids'])} pids ({len(stats['worker_pids'])} "
+        f"workers), {stats['requests']} requests — load in "
+        "https://ui.perfetto.dev"
+    )
     return 0
 
 
@@ -314,6 +354,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="encoded splits per demo asset")
     v.add_argument("--load", action="append", metavar="NAME=PATH",
                    help="serve an existing container file (repeatable)")
+    v.add_argument("--trace", action="store_true",
+                   help="record request spans in the in-process ring; "
+                   "fetch them live with 'recoil trace'")
     v.set_defaults(func=_cmd_serve)
 
     lb = sub.add_parser(
@@ -341,9 +384,27 @@ def build_parser() -> argparse.ArgumentParser:
                     "report then shows clean and faulted side by side")
     lb.add_argument("--seed", type=int, default=11,
                     help="workload seed (arrivals, popularity, personas)")
+    lb.add_argument("--trace", default=None, metavar="FILE",
+                    help="enable request tracing for the run and write "
+                    "a Perfetto-loadable Chrome trace to FILE")
     lb.add_argument("--json", action="store_true",
                     help="emit the full result as JSON")
     lb.set_defaults(func=_cmd_load_bench)
+
+    t = sub.add_parser(
+        "trace",
+        help="fetch a live server's request trace (or validate one)",
+    )
+    t.add_argument("--host", default="127.0.0.1")
+    t.add_argument("--port", type=int, default=9090)
+    t.add_argument("--out", default="trace.json", metavar="FILE",
+                   help="where to write the Chrome trace-event JSON")
+    t.add_argument("--clear", action="store_true",
+                   help="drain the server's span ring after fetching")
+    t.add_argument("--validate", default=None, metavar="FILE",
+                   help="schema-check an existing trace file instead of "
+                   "fetching (exit 1 on an invalid document)")
+    t.set_defaults(func=_cmd_trace)
     return parser
 
 

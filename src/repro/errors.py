@@ -69,6 +69,12 @@ class DeadlineError(ServeError):
     request is still blocked on admission."""
 
 
+class TraceError(ReproError):
+    """A trace document failed schema validation (:mod:`repro.trace`):
+    missing required fields, unbalanced begin/end events, negative
+    durations, or worker spans sharing the serve process id."""
+
+
 class FaultInjected(ReproError):
     """An armed fault point fired (:mod:`repro.faults`).  Only the
     fault-injection harness raises this — seeing it outside a chaos

@@ -57,7 +57,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro import faults
+from repro import faults, trace
 from repro.errors import FaultInjected, ParallelismError, ReproError
 from repro.parallel.costmodel import assign_tasks
 from repro.parallel.executor import PoolDecodeResult
@@ -228,13 +228,28 @@ def _worker_run_job(
                 dtype=np.dtype(job["out_dtype"]),
                 buffer=out_shm.buf,
             )
+            # Traced jobs measure the kernel here and ship the raw
+            # perf_counter interval back with the reply; span ids are
+            # allocated parent-side only (one id space — DESIGN.md
+            # §17), so the worker sends measurements, never Span
+            # objects.  perf_counter is CLOCK_MONOTONIC on Linux:
+            # system-wide, so parent and worker timestamps compare.
+            w0 = time.perf_counter() if job.get("trace") else 0.0
             try:
                 stats = engine.run(words, job["tasks"], out)
             finally:
                 # Views must die before the maps close (CPython raises
                 # BufferError on close with exported buffers).
                 del words, out
-            return ("ok", stats)
+            span = None
+            if job.get("trace"):
+                span = (
+                    w0,
+                    time.perf_counter(),
+                    os.getpid(),
+                    threading.get_native_id(),
+                )
+            return ("ok", stats, span)
         except BaseException as exc:
             _strip_tracebacks(exc)
             try:
@@ -500,6 +515,9 @@ class ShardedExecutor:
         w = self._workers[wid]
         if w.dead:
             return
+        # cat "serve", not "shard": this marker records in the PARENT
+        # (worker pids are reserved for worker-measured spans).
+        trace.record_instant("shard.dead", args={"worker": wid})
         w.dead = True
         w.fails += 1
         delay = min(
@@ -566,6 +584,7 @@ class ShardedExecutor:
             fresh.fails = w.fails
             self._workers[wid] = fresh
             self.respawns += 1
+            trace.record_instant("shard.respawn", args={"worker": wid})
 
     # -- dispatch ------------------------------------------------------
 
@@ -626,6 +645,10 @@ class ShardedExecutor:
         queue in order.
         """
         self._ensure_workers()
+        trace_on = trace.enabled()
+        # The serve dispatcher publishes its batch span as the thread's
+        # implicit parent; worker spans recorded below attach to it.
+        trace_parent = trace.current_parent() if trace_on else None
         out_dtype = np.dtype(out_dtype)
         buckets = assign_tasks(tasks, workers, strategy=strategy)
         out = np.empty(num_symbols, dtype=out_dtype)
@@ -678,6 +701,7 @@ class ShardedExecutor:
                                 "out_dtype": out_dtype.str,
                                 "tasks": bucket,
                                 "fault": verdict,
+                                "trace": trace_on,
                             },
                         )
                     )
@@ -704,6 +728,21 @@ class ShardedExecutor:
                         break
                     if reply[0] == "ok":
                         stats.append(reply[1])
+                        wspan = reply[2] if len(reply) > 2 else None
+                        if wspan is not None:
+                            # Register the worker-measured interval in
+                            # the parent's ring under the worker's real
+                            # pid/tid, parented to the dispatch span.
+                            trace.record_span(
+                                "shard.worker",
+                                wspan[0],
+                                wspan[1],
+                                cat=trace.WORKER_CAT,
+                                parent=trace_parent,
+                                pid=wspan[2],
+                                tid=wspan[3],
+                                args={"worker": wid},
+                            )
                         continue
                     exc = reply[1]
                     if not isinstance(exc, ReproError):

@@ -45,6 +45,7 @@ class DecodeRequest:
         asset: StoredAsset,
         variant: ShrunkVariant,
         deadline: float | None = None,
+        submitted_at: float | None = None,
     ) -> None:
         self.asset = asset
         self.variant = variant
@@ -52,6 +53,20 @@ class DecodeRequest:
         #: fails the request with DeadlineError instead of running it.
         self.deadline = deadline
         self.enqueued_at = time.perf_counter()
+        #: when the client's submit() began (before the shrink) — the
+        #: start of the end-to-end stage clock (defaults to enqueue).
+        self.submitted_at = (
+            submitted_at if submitted_at is not None else self.enqueued_at
+        )
+        #: when admission released the request into the batcher (set by
+        #: the service; batch-window residency is measured from here).
+        self.admitted_at: float | None = None
+        #: tracing linkage (``repro.trace``): request id, root span id,
+        #: and the caller's parent span (the network front-end's
+        #: request span) — all ``None`` when tracing is disabled.
+        self.trace_req: int | None = None
+        self.trace_root: int | None = None
+        self.trace_parent: int | None = None
         self._future: Future = Future()
         self.completed_at: float | None = None
         # Requests with equal keys may share one fused kernel call.

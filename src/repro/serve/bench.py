@@ -206,6 +206,8 @@ def run_serve_bench(
                 ),
             }
 
+    from repro.serve.loadgen import stage_breakdown
+
     max_clients = str(max(clients))
     chaos_section = (
         {
@@ -236,6 +238,7 @@ def run_serve_bench(
         "backend_shootout": shootout,
         "speedup_process_vs_thread": shootout["speedup_process_vs_thread"],
         "service_metrics": snapshot,
+        "stage_breakdown": stage_breakdown(snapshot),
     }
 
 
@@ -308,6 +311,15 @@ def render_table(result: dict) -> str:
             f"({res['poison_isolated']} isolated), "
             f"{res['deadline_expired']} deadline-expired"
         )
+    stages = result.get("stage_breakdown")
+    if stages:
+        parts = [
+            f"{stage} {snap['p99_ms']:.1f}"
+            for stage, snap in stages.get("service", {}).items()
+            if snap.get("count")
+        ]
+        if parts:
+            lines.append(f"stage p99 ms: {', '.join(parts)}")
     chaos = result.get("faults")
     if chaos:
         fired = sum(r["fires"] for r in chaos["rules"])

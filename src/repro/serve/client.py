@@ -298,6 +298,38 @@ class RecoilClient:
             )
         return int.from_bytes(body, "big")
 
+    def trace(self, clear: bool = False) -> dict:
+        """The server's span ring as a Chrome trace-event document.
+
+        ``clear`` drains the server's ring; otherwise it keeps
+        collecting.  The returned dict is Perfetto-loadable
+        (``json.dump`` it to a file) and passes
+        :func:`repro.trace.validate_chrome_trace`.
+        """
+        import json
+
+        result = self._roundtrip(protocol.encode_trace_request(clear))
+        if result[0] != "stream":
+            raise ProtocolError(
+                f"trace answered with a {result[0]} response"
+            )
+        _, kind, _, count, payload = result
+        if kind != protocol.KIND_BYTES:
+            raise ProtocolError(f"trace stream has kind {kind}, not bytes")
+        if count != len(payload):
+            raise ProtocolError(
+                f"trace stream count {count} != payload size {len(payload)}"
+            )
+        try:
+            doc = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise ProtocolError(
+                f"trace response is not valid JSON: {exc}"
+            ) from None
+        if not isinstance(doc, dict):
+            raise ProtocolError("trace response is not a JSON object")
+        return doc
+
     def metrics(self) -> dict:
         """The server's unified metrics snapshot."""
         import json

@@ -47,6 +47,7 @@ from random import Random
 import numpy as np
 
 from repro import faults as fault_injection
+from repro import trace
 from repro.errors import (
     AdmissionError,
     ProtocolError,
@@ -54,6 +55,7 @@ from repro.errors import (
 )
 from repro.serve import protocol
 from repro.serve.client import RecoilClient
+from repro.trace.hist import LatencyHistogram
 
 #: default persona mix: mostly honest, a pinch of hostile.
 DEFAULT_PERSONAS = {"normal": 0.90, "slow": 0.05, "kill": 0.05}
@@ -278,7 +280,10 @@ def run_load(
     ]
 
     outcomes: list[str] = []
-    latencies: list[float] = []
+    # Streaming histogram, not a list: an over-saturation soak records
+    # millions of samples in O(buckets) memory, with identical
+    # percentile fields (±half a bucket — see repro/trace/hist.py).
+    latencies = LatencyHistogram()
     record_lock = threading.Lock()
 
     def worker(
@@ -311,8 +316,8 @@ def run_load(
         latency = time.monotonic() - sched_abs
         with record_lock:
             outcomes.append(outcome)
-            if outcome == "ok":
-                latencies.append(latency)
+        if outcome == "ok":
+            latencies.record(latency)
 
     threads: list[threading.Thread] = []
     start = time.monotonic()
@@ -337,13 +342,12 @@ def run_load(
     unfinished = len(plan) - len(outcomes)
     if unfinished:
         counts["unfinished"] = unfinished
-    lat = np.sort(np.asarray(latencies, dtype=np.float64))
 
     def pct(q: float) -> float | None:
-        if not len(lat):
-            return None
-        return round(float(np.percentile(lat, q)) * 1000.0, 3)
+        seconds = latencies.percentile(q)
+        return None if seconds is None else round(seconds * 1000.0, 3)
 
+    mean_s = latencies.mean
     ok = counts.get("ok", 0) + counts.get("slow_ok", 0)
     return {
         "offered": {
@@ -365,12 +369,14 @@ def run_load(
             "p99": pct(99),
             "p999": pct(99.9),
             "mean": (
-                round(float(lat.mean()) * 1000.0, 3) if len(lat) else None
+                round(mean_s * 1000.0, 3) if mean_s is not None else None
             ),
             "max": (
-                round(float(lat[-1]) * 1000.0, 3) if len(lat) else None
+                round(latencies.max * 1000.0, 3)
+                if latencies.count
+                else None
             ),
-            "samples": int(len(lat)),
+            "samples": latencies.count,
         },
         "achieved_rps": round(ok / wall_s, 2) if wall_s > 0 else 0.0,
         "wall_s": round(wall_s, 3),
@@ -380,6 +386,44 @@ def run_load(
 # ---------------------------------------------------------------------------
 # Self-contained harness (CLI + benchmarks/bench_latency.py).
 # ---------------------------------------------------------------------------
+
+
+def stage_breakdown(
+    service_metrics: dict, network_metrics: dict | None = None
+) -> dict:
+    """Per-stage latency attribution from metrics snapshots.
+
+    Pulls the ``stage_latency_ms`` histograms out of a service (and
+    optionally network) snapshot and adds a consistency check: the sum
+    of the component-stage means must approximate the end-to-end mean
+    (service: ``shrink + admission + batch_window + kernel ≈ request``;
+    network: ``read + handle + write ≈ e2e``).  The residual is
+    result-delivery/scheduling slack — small positive values are
+    normal, large ones mean a stage is missing from the decomposition.
+    """
+
+    def mean_ms(section: dict, stage: str) -> float:
+        value = section.get(stage, {}).get("mean_ms")
+        return value if value is not None else 0.0
+
+    svc = service_metrics.get("stage_latency_ms", {})
+    out: dict = {"service": svc}
+    svc_sum = sum(
+        mean_ms(svc, s)
+        for s in ("shrink", "admission", "batch_window", "kernel")
+    )
+    consistency = {
+        "service_stage_mean_sum_ms": round(svc_sum, 3),
+        "service_e2e_mean_ms": svc.get("request", {}).get("mean_ms"),
+    }
+    if network_metrics is not None:
+        net = network_metrics.get("stage_latency_ms", {})
+        out["network"] = net
+        net_sum = sum(mean_ms(net, s) for s in ("read", "handle", "write"))
+        consistency["net_stage_mean_sum_ms"] = round(net_sum, 3)
+        consistency["net_e2e_mean_ms"] = net.get("e2e", {}).get("mean_ms")
+    out["consistency"] = consistency
+    return out
 
 
 def run_load_bench(
@@ -396,6 +440,7 @@ def run_load_bench(
     faults: str | None = None,
     seed: int = 11,
     request_timeout_s: float = 30.0,
+    trace_path: str | None = None,
 ) -> dict:
     """Stand up a service + network server, drive an open-loop run
     clean and (optionally) under a chaos spec, and report both.
@@ -403,6 +448,12 @@ def run_load_bench(
     Every verified response in both runs must be bit-identical to the
     stored symbols; a single mismatch raises ``AssertionError`` — a
     latency number for a server that corrupts data is worthless.
+
+    :param trace_path: when set, the whole bench runs with
+        :mod:`repro.trace` enabled and the span ring is written there
+        as Chrome trace-event JSON (Perfetto-loadable, schema-checked
+        before the function returns); the result gains a ``"trace"``
+        section.
     """
     from repro.data import text_surrogate
     from repro.serve.net import NetConfig, NetServer
@@ -421,6 +472,8 @@ def run_load_bench(
     config = ServiceConfig(decode_backend=backend, decode_workers=workers)
     assets: dict[str, np.ndarray] = {}
     fault_report: list[dict] = []
+    if trace_path is not None:
+        trace.enable()
     with RecoilService(config=config) as service:
         for i in range(num_assets):
             name = f"asset{i}"
@@ -461,6 +514,22 @@ def run_load_bench(
             network = server.metrics.snapshot()
         service_metrics = service.metrics_snapshot()
 
+    trace_report = None
+    if trace_path is not None:
+        import os
+
+        spans = trace.drain()
+        trace.disable()
+        doc = trace.write_chrome_trace(
+            trace_path, spans, main_pid=os.getpid()
+        )
+        trace_report = {
+            "path": trace_path,
+            "spans": len(spans),
+            "dropped": trace.dropped(),
+            "validation": trace.validate_chrome_trace(doc),
+        }
+
     for label, run in (("clean", clean), ("faulted", faulted)):
         if run and run["mismatches"]:
             raise AssertionError(
@@ -489,6 +558,8 @@ def run_load_bench(
         ),
         "network_metrics": network,
         "service_metrics": service_metrics,
+        "stage_breakdown": stage_breakdown(service_metrics, network),
+        "trace": trace_report,
     }
 
 
@@ -528,6 +599,22 @@ def render_load_table(result: dict) -> str:
         f"{net['retry_afters_sent']} retry-afters, drain "
         f"{net['drain']['clean']} clean / {net['drain']['forced']} forced"
     )
+    stages = result.get("stage_breakdown")
+    if stages:
+        parts = []
+        for section in ("service", "network"):
+            for stage, snap in stages.get(section, {}).items():
+                if snap.get("count"):
+                    parts.append(f"{stage} {snap['p99_ms']:.1f}")
+        if parts:
+            lines.append(f"stage p99 ms: {', '.join(parts)}")
+    tr = result.get("trace")
+    if tr:
+        lines.append(
+            f"trace: {tr['spans']} spans -> {tr['path']} "
+            f"({len(tr['validation']['worker_pids'])} worker pids, "
+            f"{tr['dropped']} dropped)"
+        )
     chaos = result.get("faults")
     if chaos:
         fired = sum(r["fires"] for r in chaos["rules"])

@@ -19,12 +19,24 @@ from __future__ import annotations
 
 import threading
 
+from ..trace.hist import LatencyHistogram
+
+#: service-side stages with their own latency distribution (DESIGN.md
+#: §17): where a request's time goes between submit and completion.
+SERVICE_STAGES = ("shrink", "admission", "batch_window", "kernel", "request")
+
+#: network-side stages: the connection thread's view of one request.
+NET_STAGES = ("read", "handle", "write", "e2e")
+
 
 class ServeMetrics:
     """Thread-safe counters for one service instance."""
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
+        #: per-stage latency distributions (log-bucketed streaming
+        #: histograms — bounded memory, own leaf locks).
+        self.stages = {s: LatencyHistogram() for s in SERVICE_STAGES}
         # -- request lifecycle -----------------------------------------
         self.requests_submitted = 0
         self.requests_completed = 0
@@ -135,6 +147,14 @@ class ServeMetrics:
                 self.shrink_cache_misses += 1
             self.bytes_served += nbytes
 
+    def record_stage(self, stage: str, seconds: float) -> None:
+        """Add one sample to a stage's latency histogram.
+
+        Histograms carry their own leaf lock, so this never takes the
+        counter lock — stage recording stays off the counter hot path.
+        """
+        self.stages[stage].record(seconds)
+
     # ------------------------------------------------------------------
 
     def snapshot(self) -> dict:
@@ -151,6 +171,7 @@ class ServeMetrics:
                     "mean_latency_s": (
                         self.request_latency_total_s / done if done else 0.0
                     ),
+                    "total_latency_s": self.request_latency_total_s,
                     "max_latency_s": self.request_latency_max_s,
                 },
                 "admission": {
@@ -189,6 +210,10 @@ class ServeMetrics:
                     "poison_isolated": self.poison_isolated,
                     "deadline_expired": self.deadline_expired,
                 },
+                "stage_latency_ms": {
+                    stage: hist.snapshot()
+                    for stage, hist in self.stages.items()
+                },
             }
 
 
@@ -207,6 +232,8 @@ class NetMetrics:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
+        #: per-stage latency distributions (read/handle/write/e2e).
+        self.stages = {s: LatencyHistogram() for s in NET_STAGES}
         # -- connection lifecycle --------------------------------------
         self.connections_opened = 0
         self.connections_closed = 0
@@ -288,6 +315,11 @@ class NetMetrics:
             else:
                 self.drain_clean += 1
 
+    def record_stage(self, stage: str, seconds: float) -> None:
+        """Add one sample to a stage's latency histogram (leaf-locked,
+        never takes the counter lock)."""
+        self.stages[stage].record(seconds)
+
     # ------------------------------------------------------------------
 
     def snapshot(self) -> dict:
@@ -323,5 +355,9 @@ class NetMetrics:
                 "drain": {
                     "clean": self.drain_clean,
                     "forced": self.drain_forced,
+                },
+                "stage_latency_ms": {
+                    stage: hist.snapshot()
+                    for stage, hist in self.stages.items()
                 },
             }

@@ -53,12 +53,13 @@ them alongside the serve/resilience sections.
 from __future__ import annotations
 
 import json
+import os
 import socket
 import threading
 import time
 from dataclasses import dataclass
 
-from repro import faults
+from repro import faults, trace
 from repro.errors import (
     AdmissionError,
     DeadlineError,
@@ -155,6 +156,13 @@ class _Connection:
         self.thread: threading.Thread | None = None
         #: True while a request is executing (drain lets it finish).
         self.busy = False
+        #: tracing context of the request in flight (``repro.trace``).
+        self.trace_req: int | None = None
+        self.trace_root: int | None = None
+        #: seconds spent in ``_respond`` for the request in flight —
+        #: subtracted from the handle stage so read/handle/write sum
+        #: to the connection's end-to-end time.
+        self.write_s = 0.0
         #: set by shutdown() when this connection is hard-closed.
         self.forced = False
         self._lock = threading.Lock()
@@ -366,6 +374,9 @@ class NetServer:
                 self._shed(sock)
                 continue
             self.metrics.connection_opened()
+            trace.record_instant(
+                "net.accept", cat="net", args={"peer_port": addr[1]}
+            )
             thread = threading.Thread(
                 target=self._conn_main,
                 args=(conn,),
@@ -400,16 +411,58 @@ class NetServer:
         try:
             while not self._draining.is_set():
                 try:
-                    ftype, body = self._read_request(conn)
+                    ftype, body, t_first = self._read_request(conn)
                 except _PeerClosed as closed:
                     if closed.midframe:
                         self.metrics.record_transport_error()
                     return
+                t_read = time.perf_counter()
+                self.metrics.record_stage("read", t_read - t_first)
+                conn.write_s = 0.0
+                conn.trace_req = trace.new_request()
+                conn.trace_root = trace.next_span_id()
+                if conn.trace_req is not None:
+                    trace.record_span(
+                        "net.read",
+                        t_first,
+                        t_read,
+                        cat="net",
+                        req=conn.trace_req,
+                        parent=conn.trace_root,
+                        args={"op": ftype, "bytes": len(body)},
+                    )
                 conn.busy = True
                 try:
                     self._handle(conn, ftype, body)
                 finally:
                     conn.busy = False
+                    t_done = time.perf_counter()
+                    # handle excludes time spent writing frames, so
+                    # read + handle + write == e2e (stage-sum rule).
+                    self.metrics.record_stage(
+                        "handle", max(t_done - t_read - conn.write_s, 0.0)
+                    )
+                    self.metrics.record_stage("e2e", t_done - t_first)
+                    if conn.trace_req is not None:
+                        trace.record_span(
+                            "net.handle",
+                            t_read,
+                            t_done,
+                            cat="net",
+                            req=conn.trace_req,
+                            parent=conn.trace_root,
+                        )
+                        trace.record_span(
+                            "net.request",
+                            t_first,
+                            t_done,
+                            cat="net",
+                            req=conn.trace_req,
+                            sid=conn.trace_root,
+                            args={"op": ftype},
+                        )
+                        conn.trace_req = None
+                        conn.trace_root = None
         except _Deadline as kill:
             self.metrics.record_deadline_kill(write=kill.write)
         except ProtocolError as exc:
@@ -462,8 +515,9 @@ class NetServer:
         self.metrics.record_bytes(read=n)
         return bytes(buf)
 
-    def _read_request(self, conn: _Connection) -> tuple[int, bytes]:
-        """One complete request frame.
+    def _read_request(self, conn: _Connection) -> tuple[int, bytes, float]:
+        """One complete request frame, plus its first-byte timestamp
+        (``perf_counter``) — the start of the request's stage clock.
 
         Two deadline phases: the *idle* wait for the first byte of the
         next request is bounded by ``idle_timeout_s`` (dead peers);
@@ -478,6 +532,7 @@ class NetServer:
             raise _Deadline(write=False) from None
         if not first:
             raise _PeerClosed(midframe=False)
+        t_first = time.perf_counter()
         faults.fire(faults.NET_READ)
         deadline = time.monotonic() + self.config.read_timeout_s
         header = first + self._recv_exact(
@@ -487,7 +542,7 @@ class NetServer:
             header, protocol.REQUEST_TYPES, self.config.max_frame_bytes
         )
         body = self._recv_exact(conn, length, deadline) if length else b""
-        return ftype, body
+        return ftype, body, t_first
 
     # -- writing -------------------------------------------------------
 
@@ -496,6 +551,7 @@ class NetServer:
         deadline.  ``net.write`` and ``net.stall`` fire once per
         response, not per chunk, so chaos probabilities compose
         per-request."""
+        t0 = time.perf_counter()
         faults.fire(faults.NET_WRITE)
         if faults.triggered(faults.NET_STALL):
             self.metrics.record_stall()
@@ -512,6 +568,18 @@ class NetServer:
             except TimeoutError:
                 raise _Deadline(write=True) from None
             self.metrics.record_bytes(written=len(frame))
+        elapsed = time.perf_counter() - t0
+        conn.write_s += elapsed
+        self.metrics.record_stage("write", elapsed)
+        if conn.trace_req is not None:
+            trace.record_span(
+                "net.write",
+                t0,
+                t0 + elapsed,
+                cat="net",
+                req=conn.trace_req,
+                parent=conn.trace_root,
+            )
 
     def _stream_frames(
         self, kind: int, dtype: str, payload: bytes, item_count: int
@@ -545,12 +613,31 @@ class NetServer:
                 frames = self._stream_frames(
                     protocol.KIND_BYTES, "", blob, len(blob)
                 )
+            elif ftype == protocol.OP_TRACE:
+                clear = protocol.parse_trace_request(body)
+                spans = trace.drain() if clear else trace.snapshot()
+                doc = trace.chrome_trace(spans, main_pid=os.getpid())
+                payload = json.dumps(doc).encode("utf-8")
+                frames = self._stream_frames(
+                    protocol.KIND_BYTES, "", payload, len(payload)
+                )
             elif ftype == protocol.OP_DECODE:
                 name, capacity, timeout = protocol.parse_decode_request(
                     body
                 )
+                # Trace linkage kwargs only when a request id exists:
+                # the untraced hot path stays a plain 3-arg call (and
+                # keeps working against monkeypatched/test doubles).
+                trace_kwargs = (
+                    {
+                        "trace_req": conn.trace_req,
+                        "trace_parent": conn.trace_root,
+                    }
+                    if conn.trace_req is not None
+                    else {}
+                )
                 symbols = self.service.decompress(
-                    name, capacity, timeout=timeout
+                    name, capacity, timeout=timeout, **trace_kwargs
                 )
                 payload = symbols.tobytes()
                 frames = self._stream_frames(

@@ -70,6 +70,7 @@ OP_SERVE = 0x02  #: shrunk container bytes for (name, capacity)
 OP_DECODE = 0x03  #: decoded symbols for (name, capacity[, timeout])
 OP_PUT = 0x04  #: store a container blob under a name
 OP_METRICS = 0x05  #: JSON metrics snapshot
+OP_TRACE = 0x06  #: Chrome trace-event JSON of the server's span ring
 
 ST_OK = 0x80  #: complete response in one frame
 ST_STREAM_BEGIN = 0x81  #: streamed response follows
@@ -78,7 +79,14 @@ ST_STREAM_END = 0x83  #: CRC-32 trailer, terminates the stream
 ST_ERROR = 0x90  #: typed error (code + message)
 ST_RETRY_AFTER = 0x91  #: load shed: retry after the suggested delay
 
-REQUEST_TYPES = (OP_PING, OP_SERVE, OP_DECODE, OP_PUT, OP_METRICS)
+REQUEST_TYPES = (
+    OP_PING,
+    OP_SERVE,
+    OP_DECODE,
+    OP_PUT,
+    OP_METRICS,
+    OP_TRACE,
+)
 RESPONSE_TYPES = (
     ST_OK,
     ST_STREAM_BEGIN,
@@ -344,6 +352,24 @@ def parse_put_request(body: bytes) -> tuple[str, bytes]:
     if not blob:
         raise ProtocolError("put request carries no container bytes")
     return name, blob
+
+
+def encode_trace_request(clear: bool = False) -> bytes:
+    """Ask the server for its span ring as Chrome trace JSON.
+
+    ``clear`` drains the ring (the spans ship and are forgotten);
+    otherwise the ring is snapshotted and keeps collecting.
+    """
+    return encode_frame(OP_TRACE, bytes([1 if clear else 0]))
+
+
+def parse_trace_request(body: bytes) -> bool:
+    cur = _Cursor(body, "trace request")
+    flag = cur.u8()
+    cur.done()
+    if flag not in (0, 1):
+        raise ProtocolError(f"trace clear flag must be 0 or 1, got {flag}")
+    return bool(flag)
 
 
 # -- response bodies --------------------------------------------------------

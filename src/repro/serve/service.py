@@ -39,7 +39,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro import faults
+from repro import faults, trace
 from repro.errors import (
     AdmissionError,
     DeadlineError,
@@ -365,6 +365,9 @@ class RecoilService:
         name: str,
         capacity: int,
         timeout: float | None = None,
+        *,
+        trace_req: int | None = None,
+        trace_parent: int | None = None,
     ) -> DecodeRequest:
         """Enqueue a decompress request; returns a waitable handle.
 
@@ -388,6 +391,11 @@ class RecoilService:
         :raises AdmissionError: the in-flight bound stayed saturated
             past ``admission_timeout_s``.
         :raises DeadlineError: ``timeout`` elapsed before admission.
+
+        ``trace_req``/``trace_parent`` adopt an already-open trace
+        context (the network front-end's request id and span) so the
+        service spans stitch under the connection's timeline; omitted,
+        a traced submit opens its own request.
         """
         if not self._running:
             raise ServeError("service closed")
@@ -395,21 +403,42 @@ class RecoilService:
             raise ServeError(
                 f"timeout must be positive, got {timeout}"
             )
+        t_submit = time.perf_counter()
         variant, hit = self.store.shrunk(name, capacity)
+        t_shrunk = time.perf_counter()
         self.metrics.record_shrink(len(variant.blob), cache_hit=hit)
+        self.metrics.record_stage("shrink", t_shrunk - t_submit)
         # variant.asset, not a second store.get(): a concurrent put()
         # replacing the name must not pair old tasks with new words.
         request_deadline = (
             None if timeout is None else time.perf_counter() + timeout
         )
         request = DecodeRequest(
-            variant.asset, variant, deadline=request_deadline
+            variant.asset,
+            variant,
+            deadline=request_deadline,
+            submitted_at=t_submit,
         )
+        if trace.enabled():
+            request.trace_req = (
+                trace_req if trace_req is not None else trace.new_request()
+            )
+            request.trace_parent = trace_parent
+            request.trace_root = trace.next_span_id()
+            trace.record_span(
+                "serve.shrink",
+                t_submit,
+                t_shrunk,
+                req=request.trace_req,
+                parent=request.trace_root,
+                args={"asset": name, "cache_hit": hit},
+            )
 
         cost = request.cost_symbols
         admit_by = time.perf_counter() + self.config.admission_timeout_s
         if request_deadline is not None:
             admit_by = min(admit_by, request_deadline)
+        t_admission = time.perf_counter()
         with self._cond:
             waited = False
             while (
@@ -446,15 +475,34 @@ class RecoilService:
                 raise ServeError("service closed")
             self._inflight_symbols += cost
             self.metrics.record_inflight(self._inflight_symbols)
+            request.admitted_at = time.perf_counter()
             self._batcher.add(request)
             # Counted only once enqueued, so submitted always
             # reconciles with completed + failed.
             self.metrics.record_submit()
             self._cond.notify_all()
+        self.metrics.record_stage(
+            "admission", request.admitted_at - t_admission
+        )
+        if request.trace_req is not None:
+            trace.record_span(
+                "serve.admission",
+                t_admission,
+                request.admitted_at,
+                req=request.trace_req,
+                parent=request.trace_root,
+                args={"waited": waited},
+            )
         return request
 
     def decompress(
-        self, name: str, capacity: int, timeout: float | None = None
+        self,
+        name: str,
+        capacity: int,
+        timeout: float | None = None,
+        *,
+        trace_req: int | None = None,
+        trace_parent: int | None = None,
     ) -> np.ndarray:
         """Decode asset ``name`` as a ``capacity``-thread client would,
         through the batched service path.
@@ -477,7 +525,13 @@ class RecoilService:
             *before* kernel dispatch; an in-kernel request runs to
             completion, this client just stops waiting for it).
         """
-        request = self.submit(name, capacity, timeout=timeout)
+        request = self.submit(
+            name,
+            capacity,
+            timeout=timeout,
+            trace_req=trace_req,
+            trace_parent=trace_parent,
+        )
         if request.deadline is None:
             return request.result()
         # Small grace past the deadline so the dispatcher's typed
@@ -681,12 +735,92 @@ class RecoilService:
         stats.tasks = len(tasks)
         return MultiRunResult(out=pooled.symbols, slices=slices, stats=stats)
 
+    def _traced_run_batch(
+        self, batch: list[DecodeRequest], arena: ScratchArena
+    ) -> MultiRunResult:
+        """:meth:`_run_batch` under a ``serve.batch`` span whose id is
+        published as the thread's implicit parent, so shard-worker
+        spans recorded layers below attach to this dispatch.  With
+        tracing disabled this is a direct call — no span, no scope."""
+        sid = trace.next_span_id()
+        if sid is None:
+            return self._run_batch(batch, arena)
+        t0 = time.perf_counter()
+        try:
+            with trace.parent_scope(sid):
+                return self._run_batch(batch, arena)
+        finally:
+            trace.record_span(
+                "serve.batch",
+                t0,
+                sid=sid,
+                args={
+                    "requests": len(batch),
+                    "backend": self._backend,
+                },
+            )
+
+    def _finish_stages(
+        self,
+        req: DecodeRequest,
+        kernel_t0: float,
+        kernel_s: float,
+        ok: bool,
+    ) -> None:
+        """Per-request stage accounting at completion: batch-window
+        residency, kernel time (the whole batch's elapsed — the time
+        the request spent in dispatch), and the end-to-end ``request``
+        stage, plus the matching spans when the request is traced.
+
+        The stage decomposition is designed to sum: ``request ≈
+        shrink + admission + batch_window + kernel`` (the remainder is
+        result-delivery slack), which the benchmark stage-breakdown
+        sections assert against end-to-end latency.
+        """
+        m = self.metrics
+        if req.admitted_at is not None:
+            m.record_stage(
+                "batch_window", max(kernel_t0 - req.admitted_at, 0.0)
+            )
+        m.record_stage("kernel", kernel_s)
+        completed = (
+            req.completed_at
+            if req.completed_at is not None
+            else kernel_t0 + kernel_s
+        )
+        m.record_stage("request", completed - req.submitted_at)
+        if req.trace_req is not None:
+            if req.admitted_at is not None:
+                trace.record_span(
+                    "serve.batch_window",
+                    req.admitted_at,
+                    kernel_t0,
+                    req=req.trace_req,
+                    parent=req.trace_root,
+                )
+            trace.record_span(
+                "serve.kernel",
+                kernel_t0,
+                kernel_t0 + kernel_s,
+                req=req.trace_req,
+                parent=req.trace_root,
+            )
+            trace.record_span(
+                "serve.request",
+                req.submitted_at,
+                completed,
+                req=req.trace_req,
+                parent=req.trace_parent,
+                sid=req.trace_root,
+                args={"asset": req.asset.name, "ok": ok},
+            )
+
     def _execute(
         self, batch: list[DecodeRequest], arena: ScratchArena
     ) -> None:
         t0 = time.perf_counter()
         try:
-            result = self._run_batch(batch, arena)
+            result = self._traced_run_batch(batch, arena)
         except Exception as exc:
             elapsed = time.perf_counter() - t0
             self.metrics.record_batch(
@@ -696,6 +830,7 @@ class RecoilService:
                 req = batch[0]
                 req.set_error(exc)
                 self.metrics.record_completion(req.latency_s, ok=False)
+                self._finish_stages(req, t0, elapsed, ok=False)
                 return
             # Poison isolation: one bad request must not fail its
             # batchmates.  Retry each request alone through the same
@@ -709,6 +844,7 @@ class RecoilService:
         for req, symbols in zip(batch, result.segment_outputs()):
             req.set_result(symbols)
             self.metrics.record_completion(req.latency_s, ok=True)
+            self._finish_stages(req, t0, elapsed, ok=True)
         self.metrics.record_batch(
             len(batch),
             result.stats.tasks,
@@ -737,18 +873,20 @@ class RecoilService:
                 continue
             t0 = time.perf_counter()
             try:
-                solo = self._run_batch([req], arena)
+                solo = self._traced_run_batch([req], arena)
             except Exception as exc:
                 elapsed = time.perf_counter() - t0
                 self.metrics.record_poison_retry(isolated=True)
                 self.metrics.record_batch(1, req.task_lanes, 0, elapsed)
                 req.set_error(exc)
                 self.metrics.record_completion(req.latency_s, ok=False)
+                self._finish_stages(req, t0, elapsed, ok=False)
                 continue
             elapsed = time.perf_counter() - t0
             self.metrics.record_poison_retry(isolated=False)
             req.set_result(solo.segment_outputs()[0])
             self.metrics.record_completion(req.latency_s, ok=True)
+            self._finish_stages(req, t0, elapsed, ok=True)
             self.metrics.record_batch(
                 1, solo.stats.tasks, solo.stats.symbols_decoded, elapsed
             )

@@ -1,0 +1,146 @@
+"""Log-bucketed streaming latency histograms.
+
+The one quantile primitive of the observability layer (DESIGN.md §17):
+every per-stage latency distribution in ``metrics_snapshot()``, the
+load generator's sample store, and the benchmark stage breakdowns all
+go through :class:`LatencyHistogram`, so quantiles cost O(buckets)
+memory no matter how long a run is — an over-saturation soak that
+records ten million samples holds the same ~2 KB of counters as a
+2-second smoke.
+
+Bucketing: bucket ``i`` covers ``[MIN_S * GROWTH**i, MIN_S *
+GROWTH**(i+1))`` with ``GROWTH = 2**(1/8)`` — eight buckets per octave,
+so a reported quantile is within ±4.4% of the true value (half a
+bucket, geometric).  ``count``/``sum``/``min``/``max`` are tracked
+exactly, so means and extremes carry no bucketing error at all.
+
+Thread safety: every mutator and reader takes the instance lock.  The
+lock is a leaf — nothing under it calls out — so callers that already
+hold their own lock (``ServeMetrics``) may nest it freely.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+#: smallest resolvable latency (100 ns); everything below lands in
+#: bucket 0.
+MIN_S = 1e-7
+#: geometric bucket growth: 8 buckets per octave.
+GROWTH = 2.0 ** 0.125
+_LOG_GROWTH = math.log(GROWTH)
+#: bucket count: covers MIN_S .. MIN_S * GROWTH**NUM_BUCKETS ≈ 3.4 ks.
+NUM_BUCKETS = 280
+
+
+def bucket_index(seconds: float) -> int:
+    """Bucket index for a latency (clamped to the histogram range)."""
+    if seconds <= MIN_S:
+        return 0
+    idx = int(math.log(seconds / MIN_S) / _LOG_GROWTH)
+    return min(idx, NUM_BUCKETS - 1)
+
+
+def bucket_value(index: int) -> float:
+    """Representative latency of a bucket (geometric midpoint)."""
+    return MIN_S * GROWTH ** (index + 0.5)
+
+
+class LatencyHistogram:
+    """Bounded-memory streaming histogram of latencies in seconds."""
+
+    __slots__ = ("_lock", "_buckets", "count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._buckets = [0] * NUM_BUCKETS
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = 0.0
+
+    def record(self, seconds: float) -> None:
+        """Add one sample (negative values clamp to zero)."""
+        if seconds < 0.0:
+            seconds = 0.0
+        idx = bucket_index(seconds)
+        with self._lock:
+            self._buckets[idx] += 1
+            self.count += 1
+            self.total += seconds
+            if seconds < self.min:
+                self.min = seconds
+            if seconds > self.max:
+                self.max = seconds
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold ``other``'s samples into this histogram."""
+        with other._lock:
+            buckets = list(other._buckets)
+            count, total = other.count, other.total
+            lo, hi = other.min, other.max
+        with self._lock:
+            for i, n in enumerate(buckets):
+                self._buckets[i] += n
+            self.count += count
+            self.total += total
+            if lo < self.min:
+                self.min = lo
+            if hi > self.max:
+                self.max = hi
+
+    # -- queries -------------------------------------------------------
+
+    def percentile(self, q: float) -> float | None:
+        """The ``q``-th percentile in seconds (``None`` when empty).
+
+        Accurate to half a bucket (±4.4%), clamped to the exact
+        observed ``[min, max]`` so p0/p100 never exceed reality.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        with self._lock:
+            if not self.count:
+                return None
+            rank = q / 100.0 * self.count
+            seen = 0
+            for i, n in enumerate(self._buckets):
+                seen += n
+                if seen >= rank and n:
+                    return min(max(bucket_value(i), self.min), self.max)
+            return self.max
+
+    @property
+    def mean(self) -> float | None:
+        with self._lock:
+            return self.total / self.count if self.count else None
+
+    def snapshot(self) -> dict:
+        """JSON-able summary in milliseconds (the snapshot unit of
+        ``metrics_snapshot()`` and the benchmark reports)."""
+
+        def ms(seconds: float | None) -> float | None:
+            if seconds is None:
+                return None
+            return round(seconds * 1000.0, 3)
+
+        with self._lock:
+            count = self.count
+            mean_s = self.total / count if count else None
+            max_s = self.max if count else None
+        return {
+            "count": count,
+            "mean_ms": ms(mean_s),
+            "p50_ms": ms(self.percentile(50)),
+            "p90_ms": ms(self.percentile(90)),
+            "p99_ms": ms(self.percentile(99)),
+            "p999_ms": ms(self.percentile(99.9)),
+            "max_ms": ms(max_s),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"LatencyHistogram(count={self.count}, "
+            f"mean={self.total / self.count if self.count else 0.0:.6f}s)"
+        )
