@@ -134,10 +134,11 @@ def _cmd_serve(args) -> int:
     the service down immediately (``RecoilService.close`` is
     idempotent and re-entrant, so the race with the draining main
     thread is safe)."""
+    import contextlib
     import signal
     import threading
 
-    from repro import trace
+    from repro import faults, trace
     from repro.data import text_surrogate
     from repro.serve.net import NetConfig, NetServer
     from repro.serve.service import RecoilService, ServiceConfig
@@ -145,7 +146,10 @@ def _cmd_serve(args) -> int:
     if args.trace:
         trace.enable()
     config = ServiceConfig(
-        decode_backend=args.backend, decode_workers=args.workers
+        decode_backend=args.backend,
+        decode_workers=args.workers,
+        store_dir=args.store_dir,
+        resident_bytes=args.resident_bytes,
     )
     net_config = NetConfig(
         host=args.host,
@@ -153,7 +157,26 @@ def _cmd_serve(args) -> int:
         max_connections=args.max_connections,
         drain_timeout_s=args.drain_timeout,
     )
-    with RecoilService(config=config) as service:
+    stack = contextlib.ExitStack()
+    if args.faults:
+        stack.enter_context(faults.inject_spec(args.faults))
+    with stack, RecoilService(config=config) as service:
+        if service.store.recovery is not None:
+            rec = service.store.recovery
+            print(
+                f"recoil serve: recovered {len(rec.recovered)} assets "
+                f"from {args.store_dir} "
+                f"({len(rec.quarantined)} quarantined, "
+                f"{len(rec.missing)} missing)",
+                flush=True,
+            )
+        elif args.store_dir and service.store.memory_only:
+            print(
+                "recoil serve: WARNING store unusable, running "
+                f"memory-only ({service.store.degradation_reason})",
+                file=sys.stderr,
+                flush=True,
+            )
         for path_spec in args.load or []:
             name, _, path = path_spec.partition("=")
             if not name or not path:
@@ -204,6 +227,62 @@ def _cmd_serve(args) -> int:
             flush=True,
         )
     return 0
+
+
+def _cmd_store(args) -> int:
+    """Offline inspection of a durable asset store.  Opening the store
+    runs the same recovery pass the server runs at cold start, so a
+    plain ``ls`` already quarantines torn/corrupt records."""
+    import json
+
+    from repro.serve.disk import DiskStore
+
+    store = DiskStore(args.store_dir)
+    rec = store.last_recovery
+    if rec is not None and (rec.quarantined or rec.missing):
+        print(
+            f"recovery: {len(rec.quarantined)} quarantined, "
+            f"{len(rec.missing)} missing",
+            file=sys.stderr,
+        )
+
+    if args.action == "ls":
+        entries = store.entries()
+        if args.json:
+            print(json.dumps(
+                {"assets": entries, "recovery": rec.to_dict() if rec else None},
+                indent=2, sort_keys=True,
+            ))
+        else:
+            for name, entry in entries.items():
+                print(f"{name}\t{entry['bytes']} B\tcrc32={entry['crc32']:08x}")
+            print(f"{len(entries)} assets in {args.store_dir}")
+        return 0
+
+    if args.action == "scrub":
+        result = store.scrub()
+        if args.json:
+            print(json.dumps(result, indent=2, sort_keys=True))
+        else:
+            print(
+                f"scrub: {result['verified']} verified, "
+                f"{len(result['quarantined'])} quarantined"
+            )
+            for item in result["quarantined"]:
+                print(f"  quarantined {item['file']}: {item['reason']}")
+        return 1 if result["quarantined"] else 0
+
+    # stat
+    if not args.name:
+        print("error: store stat wants an asset NAME", file=sys.stderr)
+        return 2
+    info = store.stat(args.name)
+    if args.json:
+        print(json.dumps(info, indent=2, sort_keys=True))
+    else:
+        for key in sorted(info):
+            print(f"{key}: {info[key]}")
+    return 0 if info.get("verified") else 1
 
 
 def _cmd_load_bench(args) -> int:
@@ -354,10 +433,38 @@ def build_parser() -> argparse.ArgumentParser:
                    help="encoded splits per demo asset")
     v.add_argument("--load", action="append", metavar="NAME=PATH",
                    help="serve an existing container file (repeatable)")
+    v.add_argument("--store-dir", default=None, metavar="DIR",
+                   help="durable asset store directory: PUT containers "
+                   "persist crash-safely and survive restarts "
+                   "(recovery + quarantine run at startup)")
+    v.add_argument("--resident-bytes", type=int, default=None,
+                   help="byte budget for the resident (in-memory) tier; "
+                   "colder assets are evicted and re-hydrated from disk "
+                   "on demand (needs --store-dir)")
+    v.add_argument("--faults", default=None, metavar="SPEC",
+                   help="arm fault injection for the whole run, e.g. "
+                   "'disk.write:p=0.1:seed=7,disk.fsync:p=0.05' "
+                   "(see repro.faults)")
     v.add_argument("--trace", action="store_true",
                    help="record request spans in the in-process ring; "
                    "fetch them live with 'recoil trace'")
     v.set_defaults(func=_cmd_serve)
+
+    st = sub.add_parser(
+        "store",
+        help="inspect or scrub a durable asset store directory",
+    )
+    st.add_argument("action", choices=("ls", "scrub", "stat"),
+                    help="ls: list recovered assets; scrub: re-verify "
+                    "every record (exit 1 if any quarantined); stat: "
+                    "verify one asset (exit 1 if bad)")
+    st.add_argument("name", nargs="?", default=None,
+                    help="asset name (stat only)")
+    st.add_argument("--store-dir", required=True, metavar="DIR",
+                    help="store directory (as given to serve --store-dir)")
+    st.add_argument("--json", action="store_true",
+                    help="emit machine-readable JSON")
+    st.set_defaults(func=_cmd_store)
 
     lb = sub.add_parser(
         "load-bench",

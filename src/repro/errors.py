@@ -56,6 +56,15 @@ class ProtocolError(ServeError):
     it means the server's response failed validation."""
 
 
+class IntegrityError(ServeError):
+    """A persisted asset failed verification: a CRC-32 mismatch, a
+    truncated or malformed on-disk record, or a manifest entry whose
+    bytes cannot be proven intact.  The store never serves bytes that
+    fail verification — the offending file is moved to the store's
+    ``quarantine/`` directory (preserved for inspection, not deleted)
+    and this error is raised instead."""
+
+
 class AdmissionError(ServeError):
     """A request was refused by the service's admission control: the
     in-flight work bound stayed saturated past the admission

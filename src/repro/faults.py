@@ -85,6 +85,19 @@ NET_WRITE = "net.write"
 #: failure is lateness, which drives client-side timeouts and the
 #: drain/force-close machinery).
 NET_STALL = "net.stall"
+#: a chunk write while persisting an asset record
+#: (:meth:`repro.serve.disk.DiskStore.put` — fires per chunk, so a
+#: rule can tear the write at any byte offset).
+DISK_WRITE = "disk.write"
+#: an fsync on the durable-write path (record file, manifest, or the
+#: containing directory after an atomic rename).
+DISK_FSYNC = "disk.fsync"
+#: an asset record read (hydration or recovery scan).
+DISK_READ = "disk.read"
+#: read-side bit rot: consumed via :func:`triggered` — the store
+#: flips one bit in the bytes it just read (keyed by asset name), so
+#: verification MUST catch it and quarantine the record.
+DISK_CORRUPT = "disk.corrupt"
 
 
 def _oserror(point: str) -> BaseException:
@@ -111,6 +124,10 @@ POINTS: dict[str, tuple[str, object]] = {
     NET_READ: ("connection frame read fails (peer reset)", _oserror),
     NET_WRITE: ("connection response write fails (peer reset)", _oserror),
     NET_STALL: ("server stalls before writing a response", _fault),
+    DISK_WRITE: ("asset record chunk write (torn write)", _oserror),
+    DISK_FSYNC: ("fsync on the durable-write path", _oserror),
+    DISK_READ: ("asset record read (hydration/recovery)", _oserror),
+    DISK_CORRUPT: ("read-side bit flip (key = asset name)", _fault),
 }
 
 

@@ -20,11 +20,15 @@ into a subsystem:
   (deadlines, shedding, graceful drain), and the backoff-aware
   client (DESIGN.md §16);
 - :mod:`repro.serve.loadgen` — open-loop tail-latency harness with
-  hostile client personas.
+  hostile client personas;
+- :mod:`repro.serve.disk` — crash-safe on-disk container store with
+  checksummed records, corruption quarantine, and cold-start
+  recovery (DESIGN.md §18).
 """
 
 from repro.serve.batcher import BatchPolicy, DecodeRequest, RequestBatcher
 from repro.serve.client import RecoilClient
+from repro.serve.disk import DiskStore, RecoveryReport
 from repro.serve.metrics import NetMetrics, ServeMetrics
 from repro.serve.net import NetConfig, NetServer
 from repro.serve.service import RecoilService, ServiceConfig
@@ -39,12 +43,13 @@ __all__ = [
     "AssetStore",
     "BatchPolicy",
     "DecodeRequest",
+    "DiskStore",
     "NetConfig",
     "NetMetrics",
     "NetServer",
     "RecoilClient",
     "RecoilService",
-    "RequestBatcher",
+    "RecoveryReport",
     "ServeMetrics",
     "ServiceConfig",
     "ShrinkCache",

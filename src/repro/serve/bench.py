@@ -208,6 +208,8 @@ def run_serve_bench(
 
     from repro.serve.loadgen import stage_breakdown
 
+    tiered = _tiered_cold_warm(symbols, seed, backend, workers)
+
     max_clients = str(max(clients))
     chaos_section = (
         {
@@ -239,7 +241,114 @@ def run_serve_bench(
         "speedup_process_vs_thread": shootout["speedup_process_vs_thread"],
         "service_metrics": snapshot,
         "stage_breakdown": stage_breakdown(snapshot),
+        "tiered": tiered,
     }
+
+
+def _tiered_cold_warm(
+    symbols: int, seed: int, backend: str, workers: int
+) -> dict:
+    """Cold-start vs warm serving through the durable tiered store.
+
+    Populates a disk store with several assets, then serves the SAME
+    Zipf-distributed request sequence twice against a byte-bounded
+    resident tier: once starting cold (resident tier empty, every
+    first touch hydrates from disk and re-verifies its checksum) and
+    once warm (popular assets already resident).  The resident budget
+    holds only the three largest assets, so the tail of the Zipf keeps
+    churning the LRU — the contrast isolates what disk hydration
+    costs, not just what an empty cache costs (docs/BENCHMARKS.md).
+    """
+    import shutil
+    import tempfile
+
+    from repro.serve.loadgen import stage_breakdown
+    from repro.serve.metrics import ServeMetrics
+
+    num_assets = 5
+    sym_each = max(8_000, symbols // 10)
+    n_requests = 48
+    zipf_s = 1.1
+    root = tempfile.mkdtemp(prefix="recoil-tiered-")
+    try:
+        names = [f"zipf{i}" for i in range(num_assets)]
+        datasets: dict[str, np.ndarray] = {}
+        write_cfg = ServiceConfig(
+            decode_backend=backend, decode_workers=workers, store_dir=root
+        )
+        with RecoilService(config=write_cfg) as writer:
+            for i, name in enumerate(names):
+                datasets[name] = text_surrogate(
+                    sym_each, target_entropy=5.29, seed=seed + 100 + i
+                )
+                writer.put_asset(name, datasets[name], num_splits=64)
+            sizes = sorted(
+                e["bytes"] for e in writer.store.disk.entries().values()
+            )
+            budget = sum(sizes[-3:])
+
+        rng = np.random.default_rng(seed + 1000)
+        weights = np.array(
+            [1.0 / (rank + 1) ** zipf_s for rank in range(num_assets)]
+        )
+        sequence = list(
+            rng.choice(names, size=n_requests, p=weights / weights.sum())
+        )
+
+        def phase(service: RecoilService) -> dict:
+            service.metrics = ServeMetrics()
+            store = service.store
+            h0, r0, e0 = (
+                store.hydrations, store.resident_hits, store.evictions,
+            )
+            t0 = time.perf_counter()
+            for name in sequence:
+                out = service.submit(name, 4).result(300)
+                if not np.array_equal(out, datasets[name]):
+                    raise AssertionError(
+                        f"tiered decode mismatch for {name!r}"
+                    )
+            wall = time.perf_counter() - t0
+            hydrations = store.hydrations - h0
+            hits = store.resident_hits - r0
+            return {
+                "wall_s": round(wall, 4),
+                "hydrations": hydrations,
+                "resident_hits": hits,
+                "evictions": store.evictions - e0,
+                "tier_hit_rate": round(
+                    hits / max(1, hits + hydrations), 4
+                ),
+                "stage_breakdown": stage_breakdown(
+                    service.metrics_snapshot()
+                ),
+            }
+
+        serve_cfg = ServiceConfig(
+            decode_backend=backend,
+            decode_workers=workers,
+            store_dir=root,
+            resident_bytes=budget,
+        )
+        with RecoilService(config=serve_cfg) as service:
+            recovered = len(service.store.recovery.recovered)
+            cold = phase(service)   # resident tier empty: compulsory
+            warm = phase(service)   # popular assets already resident
+        return {
+            "assets": num_assets,
+            "symbols_per_asset": sym_each,
+            "requests": n_requests,
+            "zipf_s": zipf_s,
+            "resident_budget_bytes": budget,
+            "recovered_at_cold_start": recovered,
+            "cold": cold,
+            "warm": warm,
+            "speedup_warm_vs_cold": round(
+                cold["wall_s"] / max(warm["wall_s"], 1e-9), 3
+            ),
+        }
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
 
 
 def _serve_backend_shootout(
@@ -326,6 +435,19 @@ def render_table(result: dict) -> str:
         lines.append(
             f"chaos: spec {chaos['spec']!r} fired {fired} faults, "
             f"{chaos['failed_requests']} requests failed"
+        )
+    tiered = result.get("tiered")
+    if tiered:
+        lines.append(
+            f"tiered ({tiered['assets']} assets, Zipf "
+            f"s={tiered['zipf_s']}, budget "
+            f"{tiered['resident_budget_bytes']} B): cold "
+            f"{tiered['cold']['wall_s'] * 1000:.0f} ms "
+            f"({tiered['cold']['hydrations']} hydrations, hit rate "
+            f"{tiered['cold']['tier_hit_rate']:.0%}), warm "
+            f"{tiered['warm']['wall_s'] * 1000:.0f} ms (hit rate "
+            f"{tiered['warm']['tier_hit_rate']:.0%}) -> "
+            f"{tiered['speedup_warm_vs_cold']:.2f}x"
         )
     shootout = result.get("backend_shootout")
     if shootout:

@@ -1,0 +1,476 @@
+"""Crash-safe on-disk container store (DESIGN.md §18).
+
+The cold tier of the tiered :class:`~repro.serve.store.AssetStore`:
+every ingested container is persisted as one self-verifying record
+file, written with the classic durable-write protocol so a crash —
+including SIGKILL and power loss — at *any* byte leaves the store in
+one of exactly two states per asset: the previous content (or
+absence), or the complete new record.  Never a torn file under the
+asset's final name.
+
+Write protocol (per record, and for the manifest):
+
+1. write the record to ``tmp/<name>.<pid>.<seq>.part`` in bounded
+   chunks (each chunk is a :data:`repro.faults.DISK_WRITE` fault
+   point, so chaos tests can tear the write at any offset);
+2. ``fsync`` the temp file (:data:`repro.faults.DISK_FSYNC`);
+3. atomically ``os.replace`` it to ``assets/<name>.rca`` — same
+   filesystem, so the rename is atomic;
+4. ``fsync`` the ``assets/`` directory, making the rename itself
+   durable.
+
+Record format (all integers big-endian)::
+
+    | magic "RCA1" (4B) | name_len u16 | name utf-8 | blob_len u64 |
+    | container blob | CRC-32 over everything before the footer (4B) |
+
+The CRC covers the header *and* the blob, so a flipped bit anywhere in
+the record — including in the length fields — fails verification.
+
+Recovery (:meth:`DiskStore.recover`, run on open): leftover ``tmp/``
+files are partial by construction and move to ``quarantine/``; every
+``assets/*.rca`` record is read fully and verified (magic, lengths,
+name/filename agreement, CRC) — verified records enter the index, bad
+ones move to ``quarantine/`` with the reason appended to
+``quarantine/quarantine.log``; the manifest is then rewritten from the
+verified set.  Quarantined files are preserved, never deleted: an
+operator can inspect them, and restoring one is ``mv`` back plus a
+``recoil store scrub``.
+
+The manifest (``manifest.json``) is advisory — per-record verification
+is the source of truth.  It exists so a scan can report assets whose
+files *vanished* (a record the manifest promises but the directory
+lacks), which checksum-scanning alone cannot distinguish from "never
+ingested".
+
+:class:`DiskStore` raises :class:`~repro.errors.IntegrityError` when a
+read fails verification (the record is quarantined first — a caller
+can never observe bytes that failed their CRC) and plain ``OSError``
+for transient I/O failures (nothing is quarantined: an EIO is not
+evidence of rot).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import threading
+import time
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro import faults
+from repro.errors import IntegrityError, ServeError
+from repro.serve.protocol import asset_name_problem
+
+#: record magic: identifies a Recoil container asset record.
+RECORD_MAGIC = b"RCA1"
+_HEAD = struct.Struct(">4sH")  # magic, name_len
+_BLOB_LEN = struct.Struct(">Q")
+_FOOTER = struct.Struct(">I")  # CRC-32
+#: suffix of a complete record file under ``assets/``.
+RECORD_SUFFIX = ".rca"
+#: chunk size of the durable write loop (each chunk is a
+#: :data:`repro.faults.DISK_WRITE` fault point).
+WRITE_CHUNK_BYTES = 256 * 1024
+#: manifest schema version.
+MANIFEST_VERSION = 1
+
+
+@dataclass
+class RecoveryReport:
+    """What one recovery scan found (``DiskStore.last_recovery``)."""
+
+    #: asset names whose records verified and entered the index.
+    recovered: list[str] = field(default_factory=list)
+    #: ``{"file": ..., "reason": ...}`` per quarantined file.
+    quarantined: list[dict] = field(default_factory=list)
+    #: manifest entries whose record file is gone entirely.
+    missing: list[str] = field(default_factory=list)
+    #: the manifest was absent/corrupt and was rebuilt from records.
+    manifest_rebuilt: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "recovered": sorted(self.recovered),
+            "quarantined": list(self.quarantined),
+            "missing": sorted(self.missing),
+            "manifest_rebuilt": self.manifest_rebuilt,
+        }
+
+
+def encode_record(name: str, blob: bytes) -> bytes:
+    """Serialize one self-verifying asset record."""
+    raw = name.encode("utf-8")
+    body = _HEAD.pack(RECORD_MAGIC, len(raw)) + raw
+    body += _BLOB_LEN.pack(len(blob)) + blob
+    return body + _FOOTER.pack(zlib.crc32(body))
+
+
+def decode_record(data: bytes, what: str) -> tuple[str, bytes]:
+    """Parse + verify one record; ``(name, blob)`` or
+    :class:`IntegrityError` naming what failed."""
+    head_end = _HEAD.size
+    if len(data) < head_end + _BLOB_LEN.size + _FOOTER.size:
+        raise IntegrityError(
+            f"{what}: truncated record ({len(data)} bytes)"
+        )
+    magic, name_len = _HEAD.unpack_from(data)
+    if magic != RECORD_MAGIC:
+        raise IntegrityError(
+            f"{what}: bad record magic {magic!r}"
+        )
+    name_end = head_end + name_len
+    blob_start = name_end + _BLOB_LEN.size
+    if blob_start + _FOOTER.size > len(data):
+        raise IntegrityError(f"{what}: truncated record header")
+    (blob_len,) = _BLOB_LEN.unpack_from(data, name_end)
+    footer_start = blob_start + blob_len
+    if footer_start + _FOOTER.size != len(data):
+        raise IntegrityError(
+            f"{what}: record length mismatch (declared {blob_len} "
+            f"blob bytes in a {len(data)}-byte file)"
+        )
+    (stored_crc,) = _FOOTER.unpack_from(data, footer_start)
+    if zlib.crc32(data[:footer_start]) != stored_crc:
+        raise IntegrityError(f"{what}: CRC-32 mismatch")
+    try:
+        name = data[head_end:name_end].decode("utf-8")
+    except UnicodeDecodeError:
+        raise IntegrityError(f"{what}: undecodable record name") from None
+    if asset_name_problem(name) is not None:
+        raise IntegrityError(f"{what}: invalid record name {name!r}")
+    return name, bytes(data[blob_start:footer_start])
+
+
+def _fsync_dir(path: Path) -> None:
+    faults.fire(faults.DISK_FSYNC)
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+class DiskStore:
+    """Crash-safe durable record store under one root directory.
+
+    Opening a store runs :meth:`recover` (unless ``recover=False``):
+    the directory is scanned, every record verified, partial/corrupt
+    files quarantined, and the manifest rewritten — so a just-opened
+    store only ever serves bytes that passed their CRC.
+
+    Thread-safe: one lock serializes puts, quarantines, and manifest
+    rewrites; reads only take it for index lookups.
+    """
+
+    def __init__(self, root: str | Path, recover: bool = True) -> None:
+        self.root = Path(root)
+        self.assets_dir = self.root / "assets"
+        self.tmp_dir = self.root / "tmp"
+        self.quarantine_dir = self.root / "quarantine"
+        for d in (self.root, self.assets_dir, self.tmp_dir,
+                  self.quarantine_dir):
+            d.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._seq = 0
+        #: verified records: name -> {"bytes": blob_len, "crc32": crc}.
+        self._index: dict[str, dict] = {}
+        # -- counters (surfaced via AssetStore.metrics()) --------------
+        self.writes = 0
+        self.reads = 0
+        self.quarantines = 0
+        self.verify_failures = 0
+        self.last_recovery: RecoveryReport | None = None
+        if recover:
+            self.recover()
+
+    # -- paths ---------------------------------------------------------
+
+    def path_for(self, name: str) -> Path:
+        problem = asset_name_problem(name)
+        if problem is not None:
+            raise ServeError(problem)
+        return self.assets_dir / (name + RECORD_SUFFIX)
+
+    def _tmp_path(self, label: str) -> Path:
+        with self._lock:
+            self._seq += 1
+            seq = self._seq
+        return self.tmp_dir / f"{label}.{os.getpid()}.{seq}.part"
+
+    # -- durable writes ------------------------------------------------
+
+    def _durable_write(self, data: bytes, label: str, final: Path) -> None:
+        """temp file + fsync + atomic rename + directory fsync."""
+        tmp = self._tmp_path(label)
+        try:
+            with open(tmp, "wb") as fh:
+                view = memoryview(data)
+                for off in range(0, max(len(view), 1), WRITE_CHUNK_BYTES):
+                    faults.fire(faults.DISK_WRITE)
+                    fh.write(view[off : off + WRITE_CHUNK_BYTES])
+                fh.flush()
+                faults.fire(faults.DISK_FSYNC)
+                os.fsync(fh.fileno())
+            os.replace(tmp, final)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        _fsync_dir(final.parent)
+
+    def put(self, name: str, blob: bytes) -> None:
+        """Persist ``blob`` durably under ``name`` (replacing any
+        previous record), then rewrite the manifest.
+
+        :raises ServeError: invalid asset name.
+        :raises OSError: the write/fsync/rename failed — the previous
+            record (if any) is intact, no partial file remains under
+            the asset's final name, and the caller may retry or
+            degrade to memory-only.
+        """
+        final = self.path_for(name)
+        record = encode_record(name, blob)
+        self._durable_write(record, name, final)
+        with self._lock:
+            self._index[name] = {
+                "bytes": len(blob),
+                "crc32": zlib.crc32(record[: -_FOOTER.size]),
+            }
+            self.writes += 1
+        self._write_manifest()
+
+    # -- reads ---------------------------------------------------------
+
+    def read(self, name: str) -> bytes:
+        """The verified container blob for ``name``.
+
+        :raises ServeError: unknown asset.
+        :raises IntegrityError: the record failed verification — it
+            has been quarantined and dropped from the index before
+            this raises, so a failed read can never be served and a
+            retry reports the asset as unknown rather than re-serving
+            rot.
+        :raises OSError: transient read failure (nothing quarantined).
+        """
+        with self._lock:
+            if name not in self._index:
+                raise ServeError(f"unknown asset {name!r}")
+        path = self.path_for(name)
+        faults.fire(faults.DISK_READ)
+        data = path.read_bytes()
+        if faults.triggered(faults.DISK_CORRUPT, key=name):
+            # Read-side bit rot: flip one bit mid-record.  The CRC
+            # check below MUST catch it.
+            flipped = bytearray(data)
+            flipped[len(flipped) // 2] ^= 0x01
+            data = bytes(flipped)
+        try:
+            record_name, blob = decode_record(data, str(path))
+            if record_name != name:
+                raise IntegrityError(
+                    f"{path}: record names {record_name!r}, "
+                    f"expected {name!r}"
+                )
+        except IntegrityError as exc:
+            with self._lock:
+                self.verify_failures += 1
+            self._quarantine(path, str(exc))
+            with self._lock:
+                self._index.pop(name, None)
+            self._write_manifest(best_effort=True)
+            raise
+        with self._lock:
+            self.reads += 1
+        return blob
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._index)
+
+    def entries(self) -> dict[str, dict]:
+        """Index snapshot ``{name: {"bytes", "crc32"}}`` (no I/O)."""
+        with self._lock:
+            return {n: dict(e) for n, e in sorted(self._index.items())}
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._index
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._index)
+
+    def stat(self, name: str) -> dict:
+        """Index entry + on-disk size + a fresh verification verdict."""
+        with self._lock:
+            entry = self._index.get(name)
+        if entry is None:
+            raise ServeError(f"unknown asset {name!r}")
+        path = self.path_for(name)
+        out = {
+            "name": name,
+            "file": str(path),
+            "blob_bytes": entry["bytes"],
+            "crc32": entry["crc32"],
+            "record_bytes": path.stat().st_size,
+            "verified": True,
+        }
+        try:
+            self.read(name)
+        except IntegrityError as exc:
+            out["verified"] = False
+            out["error"] = str(exc)
+        return out
+
+    # -- quarantine ----------------------------------------------------
+
+    def _quarantine(self, path: Path, reason: str) -> dict:
+        """Move a file out of service into ``quarantine/`` (never
+        delete), log the reason, count it."""
+        with self._lock:
+            self._seq += 1
+            dest = self.quarantine_dir / f"{path.name}.{self._seq}"
+            self.quarantines += 1
+        try:
+            os.replace(path, dest)
+        except OSError:
+            # The file vanished (or the move failed): best effort —
+            # the index drop is what takes it out of service.
+            pass
+        try:
+            with open(self.quarantine_dir / "quarantine.log", "a",
+                      encoding="utf-8") as fh:
+                fh.write(f"{time.time():.3f}\t{dest.name}\t{reason}\n")
+        except OSError:
+            pass
+        return {"file": str(dest), "reason": reason}
+
+    # -- manifest ------------------------------------------------------
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / "manifest.json"
+
+    def _write_manifest(self, best_effort: bool = False) -> None:
+        with self._lock:
+            doc = {
+                "version": MANIFEST_VERSION,
+                "assets": {
+                    name: dict(entry)
+                    for name, entry in sorted(self._index.items())
+                },
+            }
+        data = json.dumps(doc, indent=1).encode("utf-8")
+        try:
+            self._durable_write(data, "manifest", self.manifest_path)
+        except OSError:
+            if not best_effort:
+                raise
+
+    def _load_manifest(self, report: RecoveryReport) -> dict:
+        """Manifest asset map, or ``{}`` (quarantining a corrupt
+        manifest and flagging the rebuild)."""
+        path = self.manifest_path
+        if not path.exists():
+            report.manifest_rebuilt = True
+            return {}
+        try:
+            doc = json.loads(path.read_bytes())
+            assets = doc["assets"]
+            if doc["version"] != MANIFEST_VERSION or not isinstance(
+                assets, dict
+            ):
+                raise ValueError("bad manifest shape")
+            return assets
+        except (ValueError, KeyError, TypeError, OSError) as exc:
+            report.quarantined.append(
+                self._quarantine(path, f"unreadable manifest: {exc}")
+            )
+            report.manifest_rebuilt = True
+            return {}
+
+    # -- recovery / scrub ----------------------------------------------
+
+    def recover(self) -> RecoveryReport:
+        """Scan the store, verify every record, quarantine the rest.
+
+        Never raises for a bad *record* — recovery's whole job is to
+        keep serving the survivors.  (A broken store *directory*
+        still raises ``OSError``: there is nothing to recover into.)
+        """
+        report = RecoveryReport()
+        # Leftover temp files are partial writes by construction.
+        for part in sorted(self.tmp_dir.iterdir()):
+            report.quarantined.append(
+                self._quarantine(part, "partial write (crashed put)")
+            )
+        manifest = self._load_manifest(report)
+        index: dict[str, dict] = {}
+        quarantined_names: set[str] = set()
+        for path in sorted(self.assets_dir.iterdir()):
+            try:
+                faults.fire(faults.DISK_READ)
+                data = path.read_bytes()
+                name, blob = decode_record(data, str(path))
+                if path.name != name + RECORD_SUFFIX:
+                    raise IntegrityError(
+                        f"{path}: file name disagrees with record "
+                        f"name {name!r}"
+                    )
+            except (IntegrityError, OSError) as exc:
+                with self._lock:
+                    self.verify_failures += 1
+                report.quarantined.append(
+                    self._quarantine(path, str(exc))
+                )
+                if path.name.endswith(RECORD_SUFFIX):
+                    quarantined_names.add(path.name[: -len(RECORD_SUFFIX)])
+                continue
+            index[name] = {
+                "bytes": len(blob),
+                "crc32": zlib.crc32(data[: -_FOOTER.size]),
+            }
+            report.recovered.append(name)
+        # "Missing" = the manifest promises a record the directory
+        # simply lacks — distinct from one that was quarantined above.
+        report.missing = sorted(
+            set(manifest) - set(index) - quarantined_names
+        )
+        with self._lock:
+            self._index = index
+        self._write_manifest(best_effort=True)
+        self.last_recovery = report
+        return report
+
+    def scrub(self) -> dict:
+        """Re-verify every indexed record end to end (rot detection on
+        a live store); corrupt records are quarantined and dropped."""
+        verified, quarantined = [], []
+        for name in self.names():
+            try:
+                self.read(name)
+                verified.append(name)
+            except IntegrityError as exc:
+                quarantined.append({"name": name, "reason": str(exc)})
+            except (OSError, ServeError) as exc:
+                quarantined.append({"name": name, "reason": str(exc)})
+        return {
+            "verified": verified,
+            "quarantined": quarantined,
+            "counters": self.counters(),
+        }
+
+    def counters(self) -> dict:
+        with self._lock:
+            return {
+                "writes": self.writes,
+                "reads": self.reads,
+                "quarantines": self.quarantines,
+                "verify_failures": self.verify_failures,
+            }

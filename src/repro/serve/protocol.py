@@ -43,6 +43,7 @@ from repro.errors import (
     DecodeError,
     EncodeError,
     FaultInjected,
+    IntegrityError,
     MetadataError,
     ModelError,
     ParallelismError,
@@ -114,6 +115,7 @@ ERR_ENCODE = 9
 ERR_PARALLELISM = 10
 ERR_FAULT = 11
 ERR_INTERNAL = 12
+ERR_INTEGRITY = 13
 
 #: wire code -> exception class (client-side re-raise).
 ERROR_CODES: dict[int, type] = {
@@ -129,11 +131,13 @@ ERROR_CODES: dict[int, type] = {
     ERR_PARALLELISM: ParallelismError,
     ERR_FAULT: FaultInjected,
     ERR_INTERNAL: ServeError,
+    ERR_INTEGRITY: IntegrityError,
 }
 
 #: exception class -> wire code, most-derived first (isinstance walk).
 _CODE_FOR: tuple[tuple[type, int], ...] = (
     (ProtocolError, ERR_PROTOCOL),
+    (IntegrityError, ERR_INTEGRITY),
     (AdmissionError, ERR_ADMISSION),
     (DeadlineError, ERR_DEADLINE),
     (FaultInjected, ERR_FAULT),
@@ -275,14 +279,41 @@ class _Cursor:
             )
 
 
-def _name_bytes(name: str) -> bytes:
-    raw = name.encode("utf-8")
-    if not raw or len(raw) > MAX_NAME_BYTES:
-        raise ProtocolError(
-            f"asset name must be 1..{MAX_NAME_BYTES} UTF-8 bytes, "
-            f"got {len(raw)}"
+def asset_name_problem(name: str) -> str | None:
+    """Why ``name`` is not a valid asset name, or ``None`` if it is.
+
+    Asset names become file names under a store directory
+    (:mod:`repro.serve.disk`), so anything that could escape that
+    directory or confuse a filesystem is rejected at every boundary:
+    empty names, names over :data:`MAX_NAME_BYTES` UTF-8 bytes, path
+    separators, ``..``, bare ``.``, and control characters.  The store
+    raises :class:`~repro.errors.ServeError`, the wire parsers
+    :class:`~repro.errors.ProtocolError` — both from this one rule.
+    """
+    if not isinstance(name, str) or not name:
+        return "asset name must be a non-empty string"
+    raw = name.encode("utf-8", errors="surrogatepass")
+    if len(raw) > MAX_NAME_BYTES:
+        return (
+            f"asset name of {len(raw)} UTF-8 bytes exceeds the "
+            f"{MAX_NAME_BYTES}-byte cap"
         )
-    return raw
+    if "/" in name or "\\" in name:
+        return f"asset name {name!r} contains a path separator"
+    if ".." in name:
+        return f"asset name {name!r} contains '..'"
+    if name == ".":
+        return "asset name '.' is reserved"
+    if any(ord(ch) < 0x20 or ord(ch) == 0x7F for ch in name):
+        return f"asset name {name!r} contains control characters"
+    return None
+
+
+def _name_bytes(name: str) -> bytes:
+    problem = asset_name_problem(name)
+    if problem is not None:
+        raise ProtocolError(problem)
+    return name.encode("utf-8")
 
 
 def _read_name(cur: _Cursor) -> str:
@@ -291,7 +322,11 @@ def _read_name(cur: _Cursor) -> str:
         raise ProtocolError(
             f"asset name length {n} outside 1..{MAX_NAME_BYTES}"
         )
-    return cur.text(n)
+    name = cur.text(n)
+    problem = asset_name_problem(name)
+    if problem is not None:
+        raise ProtocolError(problem)
+    return name
 
 
 # -- request bodies ---------------------------------------------------------

@@ -78,6 +78,17 @@ class ServiceConfig:
     batching: bool = True
     #: LRU capacity of the shrink cache (entries).
     shrink_cache_entries: int = 256
+    #: optional byte bound on the shrink cache (total cached variant
+    #: blob bytes; ``None`` = entries-only bound).
+    shrink_cache_bytes: int | None = None
+    #: durable store directory (DESIGN.md §18): ``OP_PUT``/``put_*``
+    #: ingests persist crash-safely, startup recovers and quarantines,
+    #: evicted assets hydrate back from here.  ``None`` = memory-only.
+    store_dir: str | None = None
+    #: resident-tier byte budget: LRU assets evict from memory past
+    #: this bound (requires a ``store_dir`` to evict to; ``None`` =
+    #: everything stays resident).
+    resident_bytes: int | None = None
     #: how a fused batch executes: ``"fused"`` — one in-process kernel
     #: call on the dispatcher thread (width-optimal for one core);
     #: ``"thread"`` — fan the batch across ``decode_workers`` OS
@@ -120,6 +131,15 @@ class ServiceConfig:
             raise ServeError(
                 f"close_timeout_s must be > 0, got {self.close_timeout_s}"
             )
+        if self.shrink_cache_bytes is not None and self.shrink_cache_bytes < 1:
+            raise ServeError(
+                f"shrink_cache_bytes must be >= 1, got "
+                f"{self.shrink_cache_bytes}"
+            )
+        if self.resident_bytes is not None and self.resident_bytes < 1:
+            raise ServeError(
+                f"resident_bytes must be >= 1, got {self.resident_bytes}"
+            )
 
     def batch_policy(self) -> BatchPolicy:
         if not self.batching:
@@ -141,7 +161,10 @@ class RecoilService:
     ) -> None:
         self.config = config or ServiceConfig()
         self.store = store or AssetStore(
-            shrink_cache_entries=self.config.shrink_cache_entries
+            shrink_cache_entries=self.config.shrink_cache_entries,
+            shrink_cache_bytes=self.config.shrink_cache_bytes,
+            store_dir=self.config.store_dir,
+            resident_bytes=self.config.resident_bytes,
         )
         self.metrics = ServeMetrics()
         self._cond = threading.Condition()
@@ -560,15 +583,23 @@ class RecoilService:
             if self._net_metrics is not None
             else None
         )
-        snap["store"] = {
-            "assets": len(self.store),
-            "shrink_cache_entries": len(self.store.cache),
-            "shrink_cache_evictions": self.store.cache.evictions,
-        }
+        snap["store"] = self.store.metrics()
         snap["resilience"]["backend"] = {
             "configured": self._configured_backend,
             "effective": self._backend,
         }
+        # Flat numerics: the resilience section is all-zero on a clean
+        # run (tests rely on that); the degradation reason string lives
+        # in snap["store"].
+        snap["resilience"]["store_degradations"] = (
+            self.store.store_degradations
+        )
+        snap["resilience"]["store_persist_failures"] = (
+            self.store.persist_failures
+        )
+        snap["resilience"]["store_memory_only"] = int(
+            self.store.memory_only
+        )
         shards = self._shards
         if shards is not None:
             snap["resilience"]["shards"] = {

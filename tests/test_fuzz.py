@@ -410,6 +410,49 @@ class TestWireProtocolFuzz:
         self._expect_error_or_close(sock)
         _assert_server_healthy(server, payload)
 
+    HOSTILE_NAMES = [
+        b"",
+        b".",
+        b"..",
+        b"../../etc/passwd",
+        b"a/b",
+        b"a\\b",
+        b"a\x00b",
+        b"a\x1fb",
+        b"a\x7fb",
+        b"x" * 1025,
+        b"\xff\xfe",  # not UTF-8
+    ]
+
+    @pytest.mark.parametrize("raw", HOSTILE_NAMES)
+    def test_hostile_asset_name_via_put(self, net_server, raw):
+        """Path traversal / control chars / oversize / non-UTF-8 names
+        through OP_PUT: the honest client refuses to encode these, so
+        hand-build the frame.  The server must answer with a typed
+        error (never create a file outside the store) and keep
+        serving."""
+        from repro.serve import protocol
+
+        server, payload = net_server
+        body = len(raw).to_bytes(2, "big") + raw + b"fake-container"
+        sock = self._open(server)
+        sock.sendall(protocol.encode_frame(protocol.OP_PUT, body))
+        self._expect_error_or_close(sock)
+        _assert_server_healthy(server, payload)
+
+    def test_hostile_name_via_serve_request(self, net_server):
+        from repro.serve import protocol
+
+        server, payload = net_server
+        raw = b"../steal"
+        body = (
+            len(raw).to_bytes(2, "big") + raw + (4).to_bytes(4, "big")
+        )
+        sock = self._open(server)
+        sock.sendall(protocol.encode_frame(protocol.OP_SERVE, body))
+        self._expect_error_or_close(sock)
+        _assert_server_healthy(server, payload)
+
     def test_fuzz_storm_then_healthy(self, net_server):
         """A burst of random hostile connections in a row; the server
         must stay up and bit-exact throughout."""

@@ -200,6 +200,36 @@ class TestShrinkCache:
     def test_rejects_zero_capacity(self):
         with pytest.raises(ServeError):
             ShrinkCache(max_entries=0)
+        with pytest.raises(ServeError):
+            ShrinkCache(max_bytes=0)
+
+    def test_byte_bound_evicts_lru(self, store):
+        v1, _ = store.shrunk("hero", 1)
+        v2, _ = store.shrunk("hero", 2)
+        budget = max(len(v1.blob), len(v2.blob)) + 1  # fits one
+        cache = ShrinkCache(max_entries=64, max_bytes=budget)
+        cache.put(("hero", 1), v1)
+        cache.put(("hero", 2), v2)  # over bytes: (hero, 1) goes
+        assert cache.get(("hero", 1)) is None
+        assert cache.get(("hero", 2)) is v2
+        snap = cache.snapshot()
+        assert snap["bytes"] == len(v2.blob) == cache.bytes
+        assert snap["evictions"] == {
+            "total": 1, "capacity": 0, "bytes": 1,
+        }
+
+    def test_invalidate_restores_byte_accounting(self, store):
+        v1, _ = store.shrunk("hero", 1)
+        cache = ShrinkCache(max_entries=4, max_bytes=10 * len(v1.blob))
+        cache.put(("hero", 1), v1)
+        cache.invalidate("hero")
+        assert cache.bytes == 0 and len(cache) == 0
+
+    def test_service_snapshot_exposes_cache_bytes(self, service):
+        snap = service.metrics_snapshot()
+        cache = snap["store"]["shrink_cache"]
+        assert cache["bytes"] >= 0
+        assert set(cache["evictions"]) == {"total", "capacity", "bytes"}
 
 
 # ---------------------------------------------------------------------------

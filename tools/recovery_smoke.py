@@ -1,0 +1,204 @@
+#!/usr/bin/env python
+"""Kill-and-restart recovery smoke: SIGKILL a serving daemon
+mid-ingest under ``disk.*`` fault injection, restart it on the same
+``--store-dir``, and hold it to the crash-consistency contract
+(DESIGN.md §18):
+
+- every asset the restarted server lists as recovered must decode
+  BIT-IDENTICALLY to the bytes the client originally put;
+- an acked asset may be absent after the crash only because an
+  injected ``disk.write``/``disk.fsync`` fault kept it off disk —
+  it must be *absent* (typed error), never served wrong;
+- deterministically planted damage (a torn tmp file and a truncated
+  record) must be quarantined, and the quarantine counters must
+  agree with the recovery report.
+
+Run by the CI chaos job with the shared ``REPRO_CHAOS_SEED``; any
+failure reproduces with the printed seed:
+
+    python tools/recovery_smoke.py --seed <seed>
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[1] / "src"
+sys.path.insert(0, str(SRC))
+
+import numpy as np  # noqa: E402
+
+from repro.core.api import recoil_compress  # noqa: E402
+from repro.data import text_surrogate  # noqa: E402
+from repro.serve import RecoilClient  # noqa: E402
+from repro.serve.disk import RECORD_SUFFIX  # noqa: E402
+
+
+def fail(msg: str) -> None:
+    print(f"recovery_smoke: FAIL: {msg}", flush=True)
+    raise SystemExit(1)
+
+
+def start_server(store_dir: Path, faults: str | None, env: dict):
+    argv = [
+        sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+        "--demo-assets", "0", "--store-dir", str(store_dir),
+    ]
+    if faults:
+        argv += ["--faults", faults]
+    proc = subprocess.Popen(
+        argv, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, env=env,
+    )
+    banner, port = [], None
+    for line in proc.stdout:
+        banner.append(line.rstrip("\n"))
+        if "listening on " in line:
+            addr = line.split("listening on ")[1].split()[0]
+            port = int(addr.rsplit(":", 1)[1])
+            break
+    if port is None:
+        proc.kill()
+        fail(f"server never came up: {banner}")
+    return proc, port, banner
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int,
+                        default=int(os.environ.get("REPRO_CHAOS_SEED", 11)))
+    parser.add_argument("--assets", type=int, default=10)
+    parser.add_argument("--symbols", type=int, default=6000)
+    parser.add_argument("--kill-after-s", type=float, default=0.6)
+    parser.add_argument("--store-dir", default=None)
+    args = parser.parse_args()
+    print(f"recovery_smoke: seed {args.seed}", flush=True)
+
+    root = Path(args.store_dir or tempfile.mkdtemp(prefix="recoil-smoke-"))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+
+    datasets, blobs = {}, {}
+    for i in range(args.assets):
+        name = f"smoke{i}"
+        datasets[name] = text_surrogate(
+            args.symbols, target_entropy=5.29, seed=args.seed + i
+        )
+        blobs[name] = recoil_compress(
+            datasets[name], num_splits=8, quant_bits=11
+        )
+
+    # -- phase 1: ingest under disk chaos, then SIGKILL ---------------
+    spec = (
+        f"disk.write:p=0.15:seed={args.seed},"
+        f"disk.fsync:p=0.1:seed={args.seed + 1}"
+    )
+    proc, port, _ = start_server(root, spec, env)
+    killer = threading.Timer(
+        args.kill_after_s, lambda: proc.send_signal(signal.SIGKILL)
+    )
+    killer.start()
+    acked: list[str] = []
+    try:
+        with RecoilClient("127.0.0.1", port, timeout_s=30) as client:
+            for name, blob in blobs.items():
+                client.put_container(name, blob)
+                acked.append(name)
+                time.sleep(0.02)  # keep ingest spanning the kill
+    except (ConnectionError, OSError, TimeoutError):
+        pass  # the kill landed mid-conversation: that is the point
+    finally:
+        killer.cancel()
+        if proc.poll() is None:
+            proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=30)
+    print(f"recovery_smoke: acked {len(acked)}/{len(blobs)} puts "
+          "before SIGKILL", flush=True)
+    if not acked:
+        fail("no puts acked before the kill; raise --kill-after-s")
+
+    # -- phase 2: plant deterministic damage --------------------------
+    planted = 0
+    (root / "tmp").mkdir(exist_ok=True)
+    (root / "tmp" / "torn.999.part").write_bytes(b"interrupted mid-write")
+    planted += 1
+    victim = None
+    records = sorted((root / "assets").glob(f"*{RECORD_SUFFIX}"))
+    if records:
+        victim = records[0]
+        data = victim.read_bytes()
+        victim.write_bytes(data[: max(1, len(data) // 2)])
+        planted += 1
+    print(f"recovery_smoke: planted {planted} damaged files "
+          f"(victim: {victim.name if victim else None})", flush=True)
+
+    # -- phase 3: restart clean, verify the contract -------------------
+    proc, port, banner = start_server(root, None, env)
+    try:
+        with RecoilClient("127.0.0.1", port, timeout_s=30) as client:
+            metrics = client.metrics()
+            recovery = metrics["store"]["recovery"]
+            recovered = set(recovery["recovered"])
+            quarantined = recovery["quarantined"]
+            print(f"recovery_smoke: recovered {sorted(recovered)}, "
+                  f"{len(quarantined)} quarantined", flush=True)
+
+            # The SIGKILL itself may add a genuine torn tmp file on
+            # top of the planted damage, so: at least the planted
+            # count, and every planted file individually accounted.
+            if len(quarantined) < planted:
+                fail(f"expected >= {planted} quarantined files "
+                     f"(planted), got {quarantined}")
+            q_files = " ".join(q["file"] for q in quarantined)
+            if "torn.999.part" not in q_files:
+                fail(f"planted tmp leftover not quarantined: {quarantined}")
+            if victim is not None and victim.name not in q_files:
+                fail(f"planted truncation not quarantined: {quarantined}")
+            if metrics["store"]["disk"]["quarantines"] != len(quarantined):
+                fail("quarantine counter disagrees with recovery report")
+
+            served = absent = 0
+            for name in acked:
+                if name in recovered:
+                    out = client.decompress(name, 2)
+                    if not np.array_equal(out, datasets[name]):
+                        fail(f"recovered asset {name!r} decoded WRONG")
+                    served += 1
+                else:
+                    # Lost to an injected persist fault or the planted
+                    # truncation: must be refused, never served wrong.
+                    try:
+                        client.decompress(name, 2)
+                    except Exception:
+                        absent += 1
+                    else:
+                        fail(f"unrecovered asset {name!r} was served")
+        print(f"recovery_smoke: {served} bit-identical, {absent} "
+              "refused (typed), contract holds", flush=True)
+    finally:
+        if proc.poll() is None:
+            proc.send_signal(signal.SIGTERM)
+            proc.wait(timeout=30)
+
+    # -- phase 4: offline scrub agrees ---------------------------------
+    scrub = subprocess.run(
+        [sys.executable, "-m", "repro.cli", "store", "scrub",
+         "--store-dir", str(root)],
+        capture_output=True, text=True, env=env, timeout=120,
+    )
+    if scrub.returncode != 0:
+        fail(f"post-recovery scrub found rot: {scrub.stdout}")
+    print("recovery_smoke: OK", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
