@@ -18,7 +18,9 @@ Figure 7 CPU workload (entropy-matched enwik8 surrogate, n=11, K=32):
 
 ``speedup_fused_vs_seed`` (the tracked headline) is the fused kernel
 vs the seed loop at the widest sweep point; the single-stream ratio is
-reported alongside.  CI runs this in smoke mode.  Usage::
+reported alongside.  The ``compiled`` section re-times the fused
+encode on the compiled kernel twin (DESIGN.md §19) when a toolchain
+is present.  CI runs this in smoke mode.  Usage::
 
     python benchmarks/bench_encode.py [--symbols 300000] [--repeats 3]
         [--out BENCH_encode.json]
@@ -36,6 +38,7 @@ import numpy as np
 from repro.baselines.conventional import ConventionalCodec, partition_bounds
 from repro.core.encoder import RecoilEncoder
 from repro.data import text_surrogate
+from repro.parallel import compiled
 from repro.rans.adaptive import StaticModelProvider
 from repro.rans.constants import L_BOUND, RENORM_BITS, RENORM_MASK
 from repro.rans.interleaved import InterleavedDecoder, InterleavedEncoder
@@ -167,6 +170,32 @@ def run(symbols: int, repeats: int) -> dict:
             "speedup": round(fused_r / seed_r, 3),
         }
 
+    # -- compiled kernel column (DESIGN.md §19) -------------------------
+    # Same fused encode sweep, inner loop on the compiled twin;
+    # warmed before timing, compile counter checked after.
+    compiled_col: dict = {
+        "available": compiled.kernel_available(),
+        "toolchain": compiled.toolchain(),
+    }
+    if compiled.kernel_available():
+        compiled.warm_up()
+        events = compiled.compile_events()
+        compiled_rate = _rate(
+            lambda: encoder.encode(
+                data, record_events=True, kernel="compiled"
+            ),
+            N, repeats,
+        )
+        if compiled.compile_events() != events:
+            raise AssertionError("compile landed inside a timed region")
+        compiled_col["symbols_per_sec"] = {
+            "numpy": round(rates["fused"], 1),
+            "compiled": round(compiled_rate, 1),
+        }
+        compiled_col["speedup_compiled_vs_numpy"] = round(
+            compiled_rate / rates["fused"], 3
+        )
+
     widest = sweep[str(PARTITION_SWEEP[-1])]
     return {
         "workload": {
@@ -181,6 +210,7 @@ def run(symbols: int, repeats: int) -> dict:
         ),
         "partition_sweep_symbols_per_sec": sweep,
         "speedup_fused_vs_seed": widest["speedup"],
+        "compiled": compiled_col,
     }
 
 

@@ -19,6 +19,11 @@ projection — docs/BENCHMARKS.md); CI gates on its measured
 ``speedup_process_vs_thread`` (the parallel-edge threshold applies
 only on runners with enough cores to express it).
 
+The ``compiled`` section re-times the fused decode with the inner
+loop on the compiled kernel twin (DESIGN.md §19) when a toolchain
+(numba or a C compiler) is present; the section always records
+``available``/``toolchain`` so a fallback run is visible in the JSON.
+
 The JSON this emits is the perf trajectory future PRs regress
 against; CI runs it in smoke mode.  Usage::
 
@@ -38,6 +43,7 @@ import numpy as np
 from repro.core.decoder import RecoilDecoder, build_thread_tasks
 from repro.core.encoder import RecoilEncoder
 from repro.data import text_surrogate
+from repro.parallel import compiled
 from repro.parallel.executor import decode_with_pool
 from repro.rans.adaptive import StaticModelProvider
 from repro.rans.interleaved import InterleavedDecoder, InterleavedEncoder
@@ -162,6 +168,34 @@ def run(symbols: int, threads: int, repeats: int) -> dict:
         workers=threads, repeats=repeats, expected=data,
     )
 
+    # -- compiled kernel column (DESIGN.md §19) -------------------------
+    # Same fused decode, inner loop on the compiled twin.  Warm-up
+    # happens before timing; the compile-event counter must stay
+    # frozen across the timed region or the measurement is invalid.
+    compiled_col: dict = {
+        "available": compiled.kernel_available(),
+        "toolchain": compiled.toolchain(),
+    }
+    if compiled.kernel_available():
+        compiled.warm_up()
+        events = compiled.compile_events()
+        compiled_rate = _rate(
+            lambda: decoder.decode(
+                enc.words, enc.final_states, md, engine="compiled"
+            ).symbols,
+            check(data),
+            repeats,
+        )
+        if compiled.compile_events() != events:
+            raise AssertionError("compile landed inside a timed region")
+        compiled_col["symbols_per_sec"] = {
+            "numpy": round(rates["fused"], 1),
+            "compiled": round(compiled_rate, 1),
+        }
+        compiled_col["speedup_compiled_vs_numpy"] = round(
+            compiled_rate / rates["fused"], 3
+        )
+
     return {
         "workload": {
             "dataset": "enwik8-surrogate (Figure 7 CPU panel)",
@@ -180,6 +214,7 @@ def run(symbols: int, threads: int, repeats: int) -> dict:
             "speedup_process_vs_thread"
         ],
         "threads_sweep_symbols_per_sec": sweep,
+        "compiled": compiled_col,
     }
 
 

@@ -32,6 +32,7 @@ from repro.core import (
 )
 from repro.core.serialization import metadata_size_bytes
 from repro.errors import ReproError
+from repro.parallel import compiled
 
 
 def _cmd_compress(args) -> int:
@@ -393,7 +394,7 @@ def build_parser() -> argparse.ArgumentParser:
     b.add_argument("--repeats", type=int, default=2,
                    help="best-of repeat count per measurement")
     b.add_argument("--backend", default="fused",
-                   choices=("fused", "thread", "process"),
+                   choices=compiled.backend_choices(("fused", "thread", "process")),
                    help="batch execution backend: one in-process fused "
                    "kernel call, a thread fan-out, or sharded worker "
                    "processes over shared memory")
@@ -421,7 +422,7 @@ def build_parser() -> argparse.ArgumentParser:
     v.add_argument("--drain-timeout", type=float, default=5.0,
                    help="grace (s) for in-flight requests at shutdown")
     v.add_argument("--backend", default="fused",
-                   choices=("fused", "thread", "process"),
+                   choices=compiled.backend_choices(("fused", "thread", "process")),
                    help="batch execution backend")
     v.add_argument("--workers", type=int, default=2,
                    help="fan-out worker count for thread/process backends")
@@ -479,7 +480,7 @@ def build_parser() -> argparse.ArgumentParser:
     lb.add_argument("--duration", type=float, default=2.0,
                     help="open-loop run length in seconds")
     lb.add_argument("--backend", default="fused",
-                    choices=("fused", "thread", "process"),
+                    choices=compiled.backend_choices(("fused", "thread", "process")),
                     help="batch execution backend")
     lb.add_argument("--workers", type=int, default=2,
                     help="fan-out worker count for thread/process backends")

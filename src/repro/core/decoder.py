@@ -111,6 +111,8 @@ class RecoilDecoder:
         # One engine for the decoder's lifetime: its scratch arena is
         # reused across decode calls (DESIGN.md §9).
         self._engine = LaneEngine(provider, lanes)
+        # Built on first ``engine="compiled"`` decode (DESIGN.md §19).
+        self._compiled_engine: LaneEngine | None = None
 
     def _out_dtype(self):
         return self.provider.out_dtype
@@ -128,25 +130,34 @@ class RecoilDecoder:
         ``max_threads`` optionally combines splits first (client-side
         equivalent of the server's shrinking — useful when the decoder
         received more metadata than it has cores).  ``engine`` selects
-        the fused wide-lane kernel (default) or the ``"reference"``
-        masked loop for differential testing.
+        the fused wide-lane kernel (default), the ``"compiled"``
+        variant of its steady-state loop (DESIGN.md §19 — falls back
+        to numpy without a toolchain), or the ``"reference"`` masked
+        loop for differential testing.
         """
         if metadata.lanes != self.lanes:
             raise DecodeError(
                 f"metadata is for {metadata.lanes}-way interleaving, "
                 f"decoder configured for {self.lanes}"
             )
-        if engine not in ("fused", "reference"):
+        if engine not in ("fused", "reference", "compiled"):
             raise DecodeError(f"unknown engine {engine!r}")
         if max_threads is not None:
             metadata = metadata.combine(max_threads)
         tasks = build_thread_tasks(metadata, len(words), final_states)
         out = np.empty(metadata.num_symbols, dtype=self._out_dtype())
-        run = (
-            self._engine.run
-            if engine == "fused"
-            else self._engine.run_reference
-        )
+        if engine == "compiled":
+            if self._compiled_engine is None:
+                self._compiled_engine = LaneEngine(
+                    self.provider, self.lanes, kernel="compiled"
+                )
+            run = self._compiled_engine.run
+        else:
+            run = (
+                self._engine.run
+                if engine == "fused"
+                else self._engine.run_reference
+            )
         stats = run(words, tasks, out)
         return RecoilDecodeResult(
             symbols=out,

@@ -1,0 +1,750 @@
+"""Compiled twins of the steady-state kernel loops (DESIGN.md §19).
+
+The fused kernels (:mod:`repro.parallel.fused`, ``fused_encode``,
+:mod:`repro.tans.fused`) are numpy straight-line code: tens of numpy
+dispatches per steady-state step, far from memory-bandwidth-bound.
+This module provides compiled equivalents of exactly those steady
+loops — nothing else: head/tail phases, planning, event
+reconstruction and the stitch stay in numpy, where masks and
+allocation patterns make a compiled rewrite risk without payoff.
+
+Two toolchains are probed, in order:
+
+- **numba** — ``@njit(nogil=True, cache=True)`` twins, compiled
+  eagerly with explicit signatures at warm-up so no lazy compile can
+  land inside a timed region;
+- **cc** — a small C source compiled once into a shared library with
+  the host C compiler and driven through :mod:`ctypes` (foreign calls
+  release the GIL exactly like njit'd code).  The library is cached
+  under the system temp directory keyed by a source hash, so later
+  processes only pay a ``dlopen``.
+
+When neither is available every entry point returns ``False`` (run
+the numpy loop) and :func:`effective_kernel` resolves ``"compiled"``
+to ``"numpy"`` with a one-time logged notice — the knob surface keeps
+working everywhere, it just reports what actually ran.
+
+Bit-identity contract: on success paths the compiled loops perform
+the *same* arithmetic in the same order as the numpy loops they twin
+(uint64 wraparound, descending-lane renormalization reads, truncating
+output stores), so the differential suites assert identical streams,
+split events and overlap stats across kernels.  On error paths
+(bitstream exhaustion) both raise; intermediate buffer contents are
+then unobservable and may differ.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import logging
+import os
+import subprocess
+import tempfile
+import threading
+
+import numpy as np
+
+log = logging.getLogger("repro.compiled")
+
+#: kernel implementations selectable through every ``backend=`` knob.
+KERNELS = ("numpy", "compiled")
+
+#: pool backends a composed backend string may name (mirrors
+#: :data:`repro.parallel.executor.BACKENDS` plus the serve-level
+#: ``"fused"`` direct path).
+_POOLS = ("thread", "process", "fused")
+
+_ENV_TOOLCHAIN = "REPRO_COMPILED_TOOLCHAIN"  # auto|numba|cc|none
+
+_lock = threading.Lock()
+_state: dict = {
+    "toolchain": None,  # resolved lazily: "numba" | "cc" | "none"
+    "impl": None,  # dict of callables once a toolchain is up
+    "compile_events": 0,
+    "warned_fallback": False,
+}
+
+# uint64 copies of narrow gather tables, keyed by id() of the source
+# array; the source is kept alive in the value so ids cannot be
+# recycled.  Bounded: one entry per live DecodeTables (per provider).
+_U64_CACHE: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+_U64_CACHE_MAX = 64
+
+
+# ---------------------------------------------------------------------------
+# Backend-string parsing: one knob selects pool and kernel together.
+# ---------------------------------------------------------------------------
+
+
+def split_backend(
+    backend: str, default_pool: str = "thread"
+) -> tuple[str, str]:
+    """Parse a ``backend`` knob into ``(pool, kernel)``.
+
+    Accepted forms: a bare pool (``"thread"``, ``"process"``,
+    ``"fused"``), the shorthand ``"compiled"`` (= ``default_pool``
+    with the compiled kernel), or ``"<pool>+compiled"``.  Pool names
+    are *not* validated against any particular surface here — callers
+    check the pool against their own supported set so their error
+    types stay unchanged.
+
+    :raises ValueError: a ``+``-composed suffix other than
+        ``compiled`` (e.g. ``"thread+gpu"``).
+    """
+    if backend == "compiled":
+        return default_pool, "compiled"
+    pool, plus, kern = backend.partition("+")
+    if not plus:
+        return backend, "numpy"
+    if kern != "compiled":
+        raise ValueError(
+            f"unknown kernel suffix {kern!r} in backend {backend!r}; "
+            f"expected '<pool>+compiled'"
+        )
+    return pool, "compiled"
+
+
+def backend_choices(pools: tuple[str, ...]) -> tuple[str, ...]:
+    """All backend strings valid for a surface supporting ``pools``:
+    the pools themselves, ``"compiled"``, and every composed form."""
+    return (
+        tuple(pools)
+        + ("compiled",)
+        + tuple(f"{p}+compiled" for p in pools)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Toolchain detection and the compiled/numpy resolution.
+# ---------------------------------------------------------------------------
+
+
+def _find_cc() -> str | None:
+    for name in ("cc", "gcc", "clang"):
+        for d in os.environ.get("PATH", "").split(os.pathsep):
+            cand = os.path.join(d, name)
+            if os.path.isfile(cand) and os.access(cand, os.X_OK):
+                return cand
+    return None
+
+
+def _detect_toolchain() -> str:
+    forced = os.environ.get(_ENV_TOOLCHAIN, "auto").lower()
+    if forced == "none":
+        return "none"
+    if forced in ("numba", "auto"):
+        try:
+            import numba  # noqa: F401
+
+            return "numba"
+        except Exception:
+            if forced == "numba":
+                return "none"
+    if forced in ("cc", "auto"):
+        if _find_cc() is not None:
+            return "cc"
+    return "none"
+
+
+def toolchain() -> str:
+    """The compiled toolchain in use: ``"numba"``, ``"cc"`` or
+    ``"none"`` (override with ``REPRO_COMPILED_TOOLCHAIN``)."""
+    with _lock:
+        if _state["toolchain"] is None:
+            _state["toolchain"] = _detect_toolchain()
+        return _state["toolchain"]
+
+
+def kernel_available() -> bool:
+    """Whether ``kernel="compiled"`` can actually run here."""
+    return _impl() is not None
+
+
+def effective_kernel(requested: str) -> str:
+    """Resolve a requested kernel to the one that will run.
+
+    ``"compiled"`` degrades to ``"numpy"`` (with a one-time logged
+    notice) when no toolchain is available or the build failed.
+
+    :raises ValueError: a kernel name outside :data:`KERNELS`.
+    """
+    if requested not in KERNELS:
+        raise ValueError(
+            f"unknown kernel {requested!r}; expected one of {KERNELS}"
+        )
+    if requested == "numpy":
+        return "numpy"
+    if _impl() is not None:
+        return "compiled"
+    with _lock:
+        if not _state["warned_fallback"]:
+            _state["warned_fallback"] = True
+            log.warning(
+                "compiled kernel requested but no toolchain is available "
+                "(numba not importable, no C compiler on PATH); "
+                "falling back to the numpy kernels"
+            )
+    return "numpy"
+
+
+def compile_events() -> int:
+    """Monotonic count of actual kernel compilations (numba eager
+    compiles and C-compiler invocations; cache hits do not count).
+    Benchmarks and the serve path assert this stays constant across
+    timed regions after :func:`warm_up`."""
+    with _lock:
+        return _state["compile_events"]
+
+
+def _count_compile(n: int = 1) -> None:
+    with _lock:
+        _state["compile_events"] += n
+
+
+def reset_for_tests() -> None:
+    """Drop all cached toolchain state (tests only: lets a test force
+    re-detection under a different ``REPRO_COMPILED_TOOLCHAIN``)."""
+    with _lock:
+        _state["toolchain"] = None
+        _state["impl"] = None
+        _state["warned_fallback"] = False
+
+
+# ---------------------------------------------------------------------------
+# The C leg.
+# ---------------------------------------------------------------------------
+
+_C_SOURCE = r"""
+#include <stdint.h>
+
+/* Steady-state rANS decode (twin of the fused.py steady loop).
+   Per iteration, per task: renormalization reads in descending lane
+   order, then Eq. 2 via the slot-indexed uint64 tables, then the
+   truncating little-endian output store.  Returns 1 when the stream
+   exhausts (caller raises), else 0. */
+int64_t recoil_rans_steady(
+    uint64_t *x, int64_t *pos,
+    const uint64_t *words, int64_t W,
+    const uint64_t *freq, const uint64_t *bias, const uint64_t *sym,
+    const uint64_t *ids,  /* NULL for a static model */
+    uint64_t slot_count, uint64_t slot_mask,
+    uint64_t shift, uint64_t rb, uint64_t lbound,
+    uint8_t *out, int64_t itemsize,
+    int64_t *out_idx,
+    int64_t T, int64_t K, int64_t iters)
+{
+    for (int64_t it = 0; it < iters; ++it) {
+        for (int64_t t = 0; t < T; ++t) {
+            uint64_t *xr = x + t * K;
+            int64_t *oi = out_idx + t * K;
+            int64_t cnt = 0;
+            for (int64_t l = K - 1; l >= 0; --l) {
+                if (xr[l] < lbound) {
+                    int64_t src = pos[t] - cnt;
+                    cnt++;
+                    if (src < 0) src = 0;
+                    if (src >= W) src = W - 1;
+                    xr[l] = (xr[l] << rb) | words[src];
+                }
+            }
+            pos[t] -= cnt;
+            if (pos[t] < -1) return 1;
+            for (int64_t l = 0; l < K; ++l) {
+                uint64_t xv = xr[l];
+                uint64_t slot = xv & slot_mask;
+                uint64_t fl = ids
+                    ? ids[oi[l]] * slot_count + slot
+                    : slot;
+                uint64_t sv = sym[fl];
+                xr[l] = freq[fl] * (xv >> shift) + bias[fl];
+                uint8_t *dst = out + oi[l] * itemsize;
+                for (int64_t b = 0; b < itemsize; ++b)
+                    dst[b] = (uint8_t)(sv >> (8 * b));
+                oi[l] -= K;
+            }
+        }
+    }
+    return 0;
+}
+
+/* Steady-phase rANS encode sweep (twin of run_blocks' zip loop):
+   stage the pre-renormalization state trajectory X and the keep
+   masks; word emission is reconstructed from them by the caller. */
+void recoil_rans_encode_sweep(
+    uint64_t *X, const uint64_t *bb, const uint64_t *fb,
+    const uint64_t *cb, const uint64_t *db, uint8_t *need,
+    uint64_t rb, int64_t bg, int64_t W)
+{
+    for (int64_t i = 0; i < bg; ++i) {
+        const uint64_t *b = bb + i * W;
+        const uint64_t *f = fb + i * W;
+        const uint64_t *c = cb + i * W;
+        const uint64_t *d = db + i * W;
+        uint8_t *n = need + i * W;
+        const uint64_t *xp = X + i * W;
+        uint64_t *xn = X + (i + 1) * W;
+        for (int64_t w = 0; w < W; ++w) {
+            uint64_t x0 = xp[w];
+            uint8_t keep = x0 < b[w];
+            n[w] = keep;
+            uint64_t xr = keep ? x0 : (x0 >> rb);
+            uint64_t q = xr / f[w];
+            xn[w] = xr + q * c[w] + d[w];
+        }
+    }
+}
+
+/* tANS speculative-pass safe run (twin of the branch-free inner loop
+   of fused_speculative_pass).  Returns the new step index. */
+int64_t recoil_tans_safe_run(
+    int64_t *traj_pos, int64_t *traj_state, int64_t stride,
+    int64_t *pos, int64_t *state,
+    const int64_t *pk, int64_t table_size,
+    const int64_t *win24,
+    int64_t live, int64_t step, int64_t safe)
+{
+    for (int64_t s = 0; s < safe; ++s) {
+        int64_t *tp = traj_pos + step * stride;
+        int64_t *ts = traj_state + step * stride;
+        for (int64_t k = 0; k < live; ++k) {
+            int64_t p = pos[k];
+            int64_t xx = state[k];
+            tp[k] = p;
+            ts[k] = xx;
+            int64_t g = pk[xx - table_size];
+            int64_t nb = (g >> 17) & 31;
+            int64_t sh = 24 - (p & 7) - nb;
+            state[k] = (g >> 22)
+                + ((win24[p >> 3] >> sh) & (g & 0x1FFFF));
+            pos[k] = p + nb;
+        }
+        step++;
+    }
+    return step;
+}
+"""
+
+
+def _build_cc_lib():
+    """Compile (or reuse) the shared library and wire up ctypes."""
+    digest = hashlib.sha256(_C_SOURCE.encode()).hexdigest()[:16]
+    cache_dir = os.path.join(
+        tempfile.gettempdir(), f"repro-kernels-{os.getuid()}"
+    )
+    so_path = os.path.join(cache_dir, f"librepro-{digest}.so")
+    if not os.path.exists(so_path):
+        compiler = _find_cc()
+        if compiler is None:
+            return None
+        os.makedirs(cache_dir, exist_ok=True)
+        src_path = os.path.join(cache_dir, f"repro-{digest}.c")
+        tmp_so = so_path + f".tmp.{os.getpid()}"
+        with open(src_path, "w") as fh:
+            fh.write(_C_SOURCE)
+        try:
+            subprocess.run(
+                [compiler, "-O3", "-shared", "-fPIC", "-o", tmp_so,
+                 src_path],
+                check=True, capture_output=True, timeout=120,
+            )
+            os.replace(tmp_so, so_path)  # atomic vs concurrent builders
+        except (subprocess.SubprocessError, OSError) as exc:
+            log.warning("C kernel build failed: %s", exc)
+            return None
+        _count_compile()
+    try:
+        lib = ctypes.CDLL(so_path)
+    except OSError as exc:
+        log.warning("C kernel load failed: %s", exc)
+        return None
+
+    p = ctypes.c_void_p
+    i64 = ctypes.c_int64
+    u64 = ctypes.c_uint64
+    lib.recoil_rans_steady.restype = i64
+    lib.recoil_rans_steady.argtypes = [
+        p, p, p, i64, p, p, p, p, u64, u64, u64, u64, u64,
+        p, i64, p, i64, i64, i64,
+    ]
+    lib.recoil_rans_encode_sweep.restype = None
+    lib.recoil_rans_encode_sweep.argtypes = [
+        p, p, p, p, p, p, u64, i64, i64,
+    ]
+    lib.recoil_tans_safe_run.restype = i64
+    lib.recoil_tans_safe_run.argtypes = [
+        p, p, i64, p, p, p, i64, p, i64, i64, i64,
+    ]
+
+    def rans_steady(x, pos, words, freq, bias, sym, ids,
+                    slot_count, slot_mask, shift, rb, lbound,
+                    out8, itemsize, out_idx, iters):
+        T, K = x.shape
+        return int(lib.recoil_rans_steady(
+            x.ctypes.data, pos.ctypes.data,
+            words.ctypes.data, len(words),
+            freq.ctypes.data, bias.ctypes.data, sym.ctypes.data,
+            ids.ctypes.data if ids is not None else None,
+            slot_count, slot_mask, shift, rb, lbound,
+            out8.ctypes.data, itemsize, out_idx.ctypes.data,
+            T, K, iters,
+        ))
+
+    def encode_sweep(X, bb, fb, cb, db, need, rb, bg, W):
+        lib.recoil_rans_encode_sweep(
+            X.ctypes.data, bb.ctypes.data, fb.ctypes.data,
+            cb.ctypes.data, db.ctypes.data, need.ctypes.data,
+            rb, bg, W,
+        )
+
+    def tans_safe(traj_pos, traj_state, pos, state, pk,
+                  table_size, win24, live, step, safe):
+        return int(lib.recoil_tans_safe_run(
+            traj_pos.ctypes.data, traj_state.ctypes.data,
+            traj_pos.shape[1],
+            pos.ctypes.data, state.ctypes.data,
+            pk.ctypes.data, table_size, win24.ctypes.data,
+            live, step, safe,
+        ))
+
+    return {
+        "rans_steady": rans_steady,
+        "encode_sweep": encode_sweep,
+        "tans_safe": tans_safe,
+    }
+
+
+# ---------------------------------------------------------------------------
+# The numba leg.
+# ---------------------------------------------------------------------------
+
+
+def _build_numba_lib():
+    try:
+        import numba
+        from numba import types
+    except Exception:
+        return None
+
+    u64a = types.uint64[::1]
+    u642 = types.uint64[:, ::1]
+    i64a = types.int64[::1]
+    i642 = types.int64[:, ::1]
+    u8a = types.uint8[::1]
+    b2 = types.boolean[:, ::1]
+    i64 = types.int64
+    u64 = types.uint64
+
+    steady_sig = i64(
+        u642, i64a, u64a, u64a, u64a, u64a, u64a, types.boolean,
+        u64, u64, u64, u64, u64, u8a, i64, i642, i64,
+    )
+    sweep_sig = types.void(
+        u642, u642, u642, u642, u642, b2, u64, i64, i64
+    )
+    tans_sig = i64(i642, i642, i64a, i64a, i64a, i64, i64a, i64, i64, i64)
+
+    try:
+        @numba.njit(steady_sig, nogil=True, cache=True)
+        def _steady(x, pos, words, freq, bias, sym, ids, use_ids,
+                    slot_count, slot_mask, shift, rb, lbound,
+                    out8, itemsize, out_idx, iters):
+            T, K = x.shape
+            W = np.int64(len(words))
+            for _ in range(iters):
+                for t in range(T):
+                    cnt = np.int64(0)
+                    for l in range(K - 1, -1, -1):
+                        if x[t, l] < lbound:
+                            src = pos[t] - cnt
+                            cnt += 1
+                            if src < 0:
+                                src = 0
+                            if src >= W:
+                                src = W - 1
+                            x[t, l] = (x[t, l] << rb) | words[src]
+                    pos[t] -= cnt
+                    if pos[t] < -1:
+                        return 1
+                    for l in range(K):
+                        xv = x[t, l]
+                        slot = xv & slot_mask
+                        if use_ids:
+                            fl = ids[out_idx[t, l]] * slot_count + slot
+                        else:
+                            fl = slot
+                        sv = sym[fl]
+                        x[t, l] = freq[fl] * (xv >> shift) + bias[fl]
+                        base = out_idx[t, l] * itemsize
+                        for b in range(itemsize):
+                            out8[base + b] = np.uint8(
+                                sv >> np.uint64(8 * b)
+                            )
+                        out_idx[t, l] -= K
+            return 0
+
+        @numba.njit(sweep_sig, nogil=True, cache=True)
+        def _sweep(X, bb, fb, cb, db, need, rb, bg, W):
+            for i in range(bg):
+                for w in range(W):
+                    x0 = X[i, w]
+                    keep = x0 < bb[i, w]
+                    need[i, w] = keep
+                    if keep:
+                        xr = x0
+                    else:
+                        xr = x0 >> rb
+                    q = xr // fb[i, w]
+                    X[i + 1, w] = xr + q * cb[i, w] + db[i, w]
+
+        @numba.njit(tans_sig, nogil=True, cache=True)
+        def _tans(traj_pos, traj_state, pos, state, pk,
+                  table_size, win24, live, step, safe):
+            for _ in range(safe):
+                for k in range(live):
+                    p = pos[k]
+                    xx = state[k]
+                    traj_pos[step, k] = p
+                    traj_state[step, k] = xx
+                    g = pk[xx - table_size]
+                    nb = (g >> 17) & 31
+                    sh = 24 - (p & 7) - nb
+                    state[k] = (g >> 22) + (
+                        (win24[p >> 3] >> sh) & (g & 0x1FFFF)
+                    )
+                    pos[k] = p + nb
+                step += 1
+            return step
+    except Exception as exc:  # pragma: no cover - numba version drift
+        log.warning("numba kernel compilation failed: %s", exc)
+        return None
+    # Three eager compiles (explicit signatures) just happened.
+    _count_compile(3)
+
+    _empty_u64 = np.empty(0, dtype=np.uint64)
+
+    def rans_steady(x, pos, words, freq, bias, sym, ids,
+                    slot_count, slot_mask, shift, rb, lbound,
+                    out8, itemsize, out_idx, iters):
+        use_ids = ids is not None
+        return _steady(
+            x, pos, words, freq, bias, sym,
+            ids if use_ids else _empty_u64, use_ids,
+            np.uint64(slot_count), np.uint64(slot_mask),
+            np.uint64(shift), np.uint64(rb), np.uint64(lbound),
+            out8, itemsize, out_idx, iters,
+        )
+
+    def encode_sweep(X, bb, fb, cb, db, need, rb, bg, W):
+        _sweep(X, bb, fb, cb, db, need, np.uint64(rb), bg, W)
+
+    def tans_safe(traj_pos, traj_state, pos, state, pk,
+                  table_size, win24, live, step, safe):
+        return _tans(traj_pos, traj_state, pos, state, pk,
+                     table_size, win24, live, step, safe)
+
+    return {
+        "rans_steady": rans_steady,
+        "encode_sweep": encode_sweep,
+        "tans_safe": tans_safe,
+    }
+
+
+def _impl() -> dict | None:
+    """The active toolchain's kernel table (built once), or None."""
+    with _lock:
+        impl = _state["impl"]
+        if impl is not None:
+            return impl or None  # {} marks a failed build
+        if _state["toolchain"] is None:
+            _state["toolchain"] = _detect_toolchain()
+        tc = _state["toolchain"]
+    # Build outside the lock: compilation can take seconds and the
+    # builders only touch process-wide caches idempotently.
+    if tc == "numba":
+        impl = _build_numba_lib()
+        if impl is None:  # numba present but broken: degrade to cc
+            impl = _build_cc_lib()
+    elif tc == "cc":
+        impl = _build_cc_lib()
+    else:
+        impl = None
+    with _lock:
+        if _state["impl"] is None:
+            _state["impl"] = impl if impl is not None else {}
+        return _state["impl"] or None
+
+
+def warm_up() -> str:
+    """Build/load every compiled kernel and run each once on tiny
+    inputs, so no compilation or ``dlopen`` lands inside a timed
+    region.  Returns the kernel that will actually run
+    (``"compiled"`` or ``"numpy"``).  Idempotent and cheap after the
+    first call."""
+    impl = _impl()
+    if impl is None:
+        return "numpy"
+    # rANS steady: 1 task x 1 lane, one iteration over a synthetic
+    # always-above-threshold state (no renormalization read fires).
+    words = np.zeros(1, dtype=np.uint64)
+    tab = np.ones(2, dtype=np.uint64)
+    out8 = np.zeros(8, dtype=np.uint8)
+    for ids in (None, np.zeros(2, dtype=np.uint64)):
+        x = np.full((1, 1), 1 << 16, dtype=np.uint64)
+        pos = np.zeros(1, dtype=np.int64)
+        oi = np.zeros((1, 1), dtype=np.int64)
+        impl["rans_steady"](
+            x, pos, words, tab, tab, tab, ids,
+            1, 1, 1, 16, 1 << 16, out8, 1, oi, 1,
+        )
+    X = np.full((2, 1), 1 << 16, dtype=np.uint64)
+    ops = np.ones((1, 1), dtype=np.uint64)
+    need = np.zeros((1, 1), dtype=bool)
+    impl["encode_sweep"](X, ops, ops, ops, ops, need, 16, 1, 1)
+    tp = np.zeros((1, 1), dtype=np.int64)
+    ts = np.zeros((1, 1), dtype=np.int64)
+    pz = np.zeros(1, dtype=np.int64)
+    sz = np.zeros(1, dtype=np.int64)
+    pk = np.zeros(1, dtype=np.int64)
+    win = np.zeros(4, dtype=np.int64)
+    impl["tans_safe"](tp, ts, pz, sz, pk, 0, win, 1, 0, 1)
+    return "compiled"
+
+
+# ---------------------------------------------------------------------------
+# Kernel entry points used by the numpy kernels.  Each returns a
+# "did it run compiled" verdict; False means "use the numpy loop".
+# ---------------------------------------------------------------------------
+
+
+def _u64_view(arr: np.ndarray) -> np.ndarray:
+    """A cached C-contiguous uint64 copy of a gather table."""
+    arr = np.ascontiguousarray(arr)
+    if arr.dtype == np.uint64:
+        return arr
+    # Key on the owning buffer (kept alive in the value, so the id
+    # cannot be recycled) plus the view geometry.
+    owner = arr.base if arr.base is not None else arr
+    key = (id(owner), arr.shape, str(arr.dtype), arr.ctypes.data)
+    hit = _U64_CACHE.get(key)
+    if hit is not None:
+        return hit[1]
+    if len(_U64_CACHE) >= _U64_CACHE_MAX:
+        _U64_CACHE.clear()
+    conv = arr.astype(np.uint64)
+    _U64_CACHE[key] = (arr, conv)
+    return conv
+
+
+def rans_steady(
+    x: np.ndarray,
+    pos: np.ndarray,
+    words_u64: np.ndarray,
+    freq: np.ndarray,
+    bias: np.ndarray,
+    sym: np.ndarray,
+    ids: np.ndarray | None,
+    slot_count: int,
+    slot_mask: int,
+    quant_bits: int,
+    renorm_bits: int,
+    lbound: int,
+    out: np.ndarray,
+    out_idx: np.ndarray,
+    iters: int,
+) -> bool:
+    """Run the full steady-state decode window compiled.
+
+    Mutates ``x``, ``pos``, ``out`` and ``out_idx`` exactly as
+    ``iters`` passes of the numpy steady loop would.  Returns False
+    (nothing mutated) when no toolchain is up or a buffer layout is
+    unsupported; raises :class:`~repro.errors.DecodeError` on stream
+    exhaustion like the numpy loop.
+    """
+    impl = _impl()
+    if impl is None or iters <= 0:
+        return iters <= 0 and impl is not None
+    if not (
+        out.flags["C_CONTIGUOUS"]
+        and x.flags["C_CONTIGUOUS"]
+        and out_idx.flags["C_CONTIGUOUS"]
+        and words_u64.flags["C_CONTIGUOUS"]
+        and out.dtype.kind in "ui"
+    ):
+        return False
+    freq = _u64_view(freq)
+    bias = _u64_view(bias)
+    sym = _u64_view(sym)
+    if ids is not None:
+        ids = _u64_view(ids)
+    err = impl["rans_steady"](
+        x, pos, words_u64, freq, bias, sym, ids,
+        slot_count, slot_mask, quant_bits, renorm_bits, lbound,
+        out.view(np.uint8), out.dtype.itemsize, out_idx, iters,
+    )
+    if err:
+        from repro.errors import DecodeError
+
+        raise DecodeError("bitstream exhausted during renormalization")
+    return True
+
+
+def encode_sweep(
+    X: np.ndarray,
+    bb: np.ndarray,
+    fb: np.ndarray,
+    cb: np.ndarray,
+    db: np.ndarray,
+    need: np.ndarray,
+    renorm_bits: int,
+) -> bool:
+    """Run one staged encode block compiled (twin of the sequential
+    sweep in ``fused_encode.run_blocks``).  ``X[0]`` must hold the
+    incoming states; on success ``X[1:]`` and ``need`` are filled."""
+    impl = _impl()
+    if impl is None:
+        return False
+    bg, W = need.shape
+    if not (
+        X.flags["C_CONTIGUOUS"]
+        and need.flags["C_CONTIGUOUS"]
+        and bb.flags["C_CONTIGUOUS"]
+        and fb.flags["C_CONTIGUOUS"]
+        and cb.flags["C_CONTIGUOUS"]
+        and db.flags["C_CONTIGUOUS"]
+    ):
+        return False
+    impl["encode_sweep"](X, bb, fb, cb, db, need, renorm_bits, bg, W)
+    return True
+
+
+def tans_safe_run(
+    traj_pos: np.ndarray,
+    traj_state: np.ndarray,
+    pos: np.ndarray,
+    state: np.ndarray,
+    pk: np.ndarray,
+    table_size: int,
+    win24: np.ndarray,
+    step: int,
+    safe: int,
+) -> int | None:
+    """Run ``safe`` branch-free speculative steps compiled (twin of
+    the inner loop of ``fused_speculative_pass``).  Returns the new
+    step index, or None when the caller must run the numpy loop."""
+    impl = _impl()
+    if impl is None:
+        return None
+    if not (
+        traj_pos.flags["C_CONTIGUOUS"]
+        and traj_state.flags["C_CONTIGUOUS"]
+        and pos.flags["C_CONTIGUOUS"]
+        and state.flags["C_CONTIGUOUS"]
+        and pk.flags["C_CONTIGUOUS"]
+        and win24.flags["C_CONTIGUOUS"]
+    ):
+        return None
+    return impl["tans_safe"](
+        traj_pos, traj_state, pos, state, pk,
+        table_size, win24, len(pos), step, safe,
+    )

@@ -30,6 +30,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ParallelismError
+from repro.parallel import compiled
 from repro.parallel.costmodel import assign_tasks
 from repro.parallel.simd import EngineStats, LaneEngine, ThreadTask
 from repro.rans.adaptive import AdaptiveModelProvider
@@ -47,6 +48,9 @@ class PoolDecodeResult:
     #: backend that actually ran (``"thread"`` after a graceful
     #: fallback from an unavailable ``"process"`` request).
     backend: str = "thread"
+    #: inner-loop kernel that actually ran (``"numpy"`` after a
+    #: graceful fallback from an unavailable ``"compiled"`` request).
+    kernel: str = "numpy"
 
     @property
     def total_symbols_decoded(self) -> int:
@@ -84,10 +88,14 @@ def decode_with_pool(
     :param strategy: ``"cost"`` (LPT, default), ``"round_robin"``
         (historical blind dealing), or ``"sharded"`` — an alias for
         ``strategy="cost"`` + ``backend="process"``.
-    :param backend: ``"thread"`` or ``"process"``.  A ``"process"``
-        request falls back to threads when shared memory is
-        unavailable on the host (check ``result.backend`` for what
-        actually ran).  The first ``"process"`` call lazily starts
+    :param backend: ``"thread"`` or ``"process"``, optionally with a
+        ``"+compiled"`` suffix (``"thread+compiled"``) to run the
+        compiled inner-loop kernel; bare ``"compiled"`` means
+        ``"thread+compiled"``.  A ``"compiled"`` request silently
+        degrades to the numpy kernel when no toolchain is available
+        (check ``result.kernel``).  A ``"process"`` request falls
+        back to threads when shared memory is unavailable on the
+        host (check ``result.backend`` for what actually ran).  The first ``"process"`` call lazily starts
         the shared worker pool; if the calling process has live
         non-main threads at that point, the pool uses the ``spawn``
         start method (slower startup) instead of ``fork``, which
@@ -111,10 +119,16 @@ def decode_with_pool(
         raise ParallelismError(f"workers must be >= 1, got {workers}")
     if strategy == "sharded":
         strategy, backend = "cost", "process"
+    try:
+        backend, kernel = compiled.split_backend(backend)
+    except ValueError as exc:
+        raise ParallelismError(str(exc)) from None
     if backend not in BACKENDS:
         raise ParallelismError(
-            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+            f"unknown backend {backend!r}; expected one of "
+            f"{compiled.backend_choices(BACKENDS)}"
         )
+    kernel = compiled.effective_kernel(kernel)
 
     if backend == "process":
         from repro.parallel import shards
@@ -126,7 +140,7 @@ def decode_with_pool(
             try:
                 return pool.decode(
                     provider, lanes, words, tasks, num_symbols, out_dtype,
-                    workers=workers, strategy=strategy,
+                    workers=workers, strategy=strategy, kernel=kernel,
                 )
             except ParallelismError:
                 # Infrastructure failure mid-job (worker death, shm
@@ -145,11 +159,14 @@ def decode_with_pool(
     buckets = assign_tasks(tasks, workers, strategy=strategy)
     if not buckets:  # zero tasks: nothing to decode, nothing to commit
         return PoolDecodeResult(
-            symbols=out, per_worker_stats=[], workers=0, backend="thread"
+            symbols=out, per_worker_stats=[], workers=0,
+            backend="thread", kernel=kernel,
         )
 
     def run(bucket: list[ThreadTask]) -> EngineStats:
-        return LaneEngine(provider, lanes).run(words, bucket, out)
+        return LaneEngine(provider, lanes, kernel=kernel).run(
+            words, bucket, out
+        )
 
     if len(buckets) == 1:
         stats = [run(buckets[0])]
@@ -161,4 +178,5 @@ def decode_with_pool(
         per_worker_stats=stats,
         workers=len(buckets),
         backend="thread",
+        kernel=kernel,
     )

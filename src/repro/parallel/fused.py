@@ -118,6 +118,7 @@ def fused_run(
     tasks: list[ThreadTask],
     out: np.ndarray,
     arena: ScratchArena,
+    kernel: str = "numpy",
 ) -> EngineStats:
     """Decode every task into ``out`` (same contract as
     :meth:`~repro.parallel.simd.LaneEngine.run`).
@@ -130,6 +131,10 @@ def fused_run(
         position is written by exactly one task.
     :param arena: caller-owned scratch buffers (not thread-safe —
         one arena per concurrently running kernel, DESIGN.md §9).
+    :param kernel: ``"numpy"`` (default) or ``"compiled"`` — run the
+        steady-state window through the compiled twin
+        (:mod:`repro.parallel.compiled`) when a toolchain is up;
+        bit-identical either way, silently numpy otherwise.
     :returns: work counters (iterations, symbols, words read).
     :raises DecodeError: task geometry inconsistent with the stream
         (start/activation out of range), the bitstream exhausting
@@ -313,77 +318,37 @@ def fused_run(
     # ---- steady state ---------------------------------------------------
     if H < S and r == H:
         steady_iters = S - H
-        need = arena.get("need", (T, K), bool)
-        cbuf = arena.get("cbuf", (T, K), np.int64)
-        rankb = arena.get("rankb", (T, K), np.int64)
-        rposb = arena.get("rposb", (T, K), np.int64)
-        wbuf = arena.get("wbuf", (T, K), np.uint64)
-        tmp = arena.get("tmp", (T, K), np.uint64)
-        slot = arena.get("slot", (T, K), np.uint64)
-        fbuf = arena.get("fbuf", (T, K), np.uint64)
-        bbuf = arena.get("bbuf", (T, K), np.uint64)
-        symb = arena.get("symb", (T, K), tables.sym_slot.dtype)
         out_idx = arena.get("out_idx", (T, K), np.int64)
-        if not static:
-            idsb = arena.get("idsb", (T, K), np.uint64)
-            flatb = arena.get("flatb", (T, K), np.uint64)
 
         # cur is a multiple of K for every task here (groups are full);
         # output positions advance by exactly -K per iteration.
         out_idx[:] = (offs + cur - K)[:, None] + lane_col
         pos_sum_before = int(pos.sum())
 
-        # Hoist everything hoistable: bound methods skip numpy's
-        # Python-level dispatch wrappers, and the column views stay
-        # valid because every buffer is written in place.
-        counts = cbuf[:, K - 1]
-        counts_col = cbuf[:, K - 1 :]
-        pos_col = pos[:, None]
-        need_any = need.any
-        need_cumsum = need.cumsum
-        pos_min = pos.min
-        take_words = words_u64.take
-        if static:
-            take_f, take_b, take_s = f1.take, b1.take, s1.take
-        else:
-            take_ids = ids_dense.take
-            take_f, take_b, take_s = f_flat.take, b_flat.take, s_flat.take
+        ran_compiled = False
+        if kernel == "compiled":
+            from repro.parallel import compiled
 
-        for _ in range(steady_iters):
-            # Eq. 4: renormalization reads, descending lane order.
-            np.less(x, lbound, out=need)
-            if need_any():
-                need_cumsum(axis=1, out=cbuf)
-                np.subtract(counts_col, cbuf, out=rankb)
-                np.subtract(pos_col, rankb, out=rposb)
-                np.subtract(pos, counts, out=pos)
-                if pos_min() < -1:
-                    raise DecodeError(
-                        "bitstream exhausted during renormalization"
-                    )
-                take_words(rposb, out=wbuf, mode="clip")
-                np.left_shift(x, rb, out=tmp)
-                np.bitwise_or(tmp, wbuf, out=tmp)
-                np.copyto(x, tmp, where=need)
-            # Eq. 2: decode all M*K lanes with single-gather tables.
-            np.bitwise_and(x, slot_mask, out=slot)
-            np.right_shift(x, n64, out=tmp)
             if static:
-                take_f(slot, out=fbuf)
-                take_b(slot, out=bbuf)
-                take_s(slot, out=symb)
+                ran_compiled = compiled.rans_steady(
+                    x, pos, words_u64, f1, b1, s1, None,
+                    int(slot_count), int(slot_mask), n, RENORM_BITS,
+                    L_BOUND, out, out_idx, steady_iters,
+                )
             else:
-                take_ids(out_idx, out=idsb)
-                np.multiply(idsb, slot_count, out=flatb)
-                np.add(flatb, slot, out=flatb)
-                take_f(flatb, out=fbuf)
-                take_b(flatb, out=bbuf)
-                take_s(flatb, out=symb)
-            np.multiply(fbuf, tmp, out=x)
-            np.add(x, bbuf, out=x)
-            # Commit the whole group of every task.
-            out[out_idx] = symb
-            np.subtract(out_idx, K, out=out_idx)
+                ran_compiled = compiled.rans_steady(
+                    x, pos, words_u64, f_flat, b_flat, s_flat,
+                    ids_dense, int(slot_count), int(slot_mask), n,
+                    RENORM_BITS, L_BOUND, out, out_idx, steady_iters,
+                )
+        if not ran_compiled:
+            _numpy_steady(
+                arena, x, pos, out, out_idx, words_u64, steady_iters,
+                static, tables, slot_mask, lbound, n64, rb, slot_count,
+                None if static else ids_dense,
+                (f1, b1, s1) if static else (f_flat, b_flat, s_flat),
+                T, K,
+            )
 
         words_read += pos_sum_before - int(pos.sum())
         symbols_decoded += steady_iters * T * K
@@ -424,6 +389,85 @@ def fused_run(
                 f"task {ti}: lanes did not return to the initial state L"
             )
     return stats
+
+
+def _numpy_steady(
+    arena, x, pos, out, out_idx, words_u64, steady_iters,
+    static, tables, slot_mask, lbound, n64, rb, slot_count,
+    ids_dense, gather_tables, T, K,
+):
+    """The numpy steady-state loop (the compiled twin's reference).
+
+    Mutates ``x``, ``pos``, ``out`` and ``out_idx`` in place, exactly
+    like :func:`repro.parallel.compiled.rans_steady` does.
+    """
+    need = arena.get("need", (T, K), bool)
+    cbuf = arena.get("cbuf", (T, K), np.int64)
+    rankb = arena.get("rankb", (T, K), np.int64)
+    rposb = arena.get("rposb", (T, K), np.int64)
+    wbuf = arena.get("wbuf", (T, K), np.uint64)
+    tmp = arena.get("tmp", (T, K), np.uint64)
+    slot = arena.get("slot", (T, K), np.uint64)
+    fbuf = arena.get("fbuf", (T, K), np.uint64)
+    bbuf = arena.get("bbuf", (T, K), np.uint64)
+    symb = arena.get("symb", (T, K), tables.sym_slot.dtype)
+    if not static:
+        idsb = arena.get("idsb", (T, K), np.uint64)
+        flatb = arena.get("flatb", (T, K), np.uint64)
+
+    # Hoist everything hoistable: bound methods skip numpy's
+    # Python-level dispatch wrappers, and the column views stay
+    # valid because every buffer is written in place.
+    counts = cbuf[:, K - 1]
+    counts_col = cbuf[:, K - 1 :]
+    pos_col = pos[:, None]
+    need_any = need.any
+    need_cumsum = need.cumsum
+    pos_min = pos.min
+    take_words = words_u64.take
+    if static:
+        f1, b1, s1 = gather_tables
+        take_f, take_b, take_s = f1.take, b1.take, s1.take
+    else:
+        f_flat, b_flat, s_flat = gather_tables
+        take_ids = ids_dense.take
+        take_f, take_b, take_s = f_flat.take, b_flat.take, s_flat.take
+
+    for _ in range(steady_iters):
+        # Eq. 4: renormalization reads, descending lane order.
+        np.less(x, lbound, out=need)
+        if need_any():
+            need_cumsum(axis=1, out=cbuf)
+            np.subtract(counts_col, cbuf, out=rankb)
+            np.subtract(pos_col, rankb, out=rposb)
+            np.subtract(pos, counts, out=pos)
+            if pos_min() < -1:
+                raise DecodeError(
+                    "bitstream exhausted during renormalization"
+                )
+            take_words(rposb, out=wbuf, mode="clip")
+            np.left_shift(x, rb, out=tmp)
+            np.bitwise_or(tmp, wbuf, out=tmp)
+            np.copyto(x, tmp, where=need)
+        # Eq. 2: decode all M*K lanes with single-gather tables.
+        np.bitwise_and(x, slot_mask, out=slot)
+        np.right_shift(x, n64, out=tmp)
+        if static:
+            take_f(slot, out=fbuf)
+            take_b(slot, out=bbuf)
+            take_s(slot, out=symb)
+        else:
+            take_ids(out_idx, out=idsb)
+            np.multiply(idsb, slot_count, out=flatb)
+            np.add(flatb, slot, out=flatb)
+            take_f(flatb, out=fbuf)
+            take_b(flatb, out=bbuf)
+            take_s(flatb, out=symb)
+        np.multiply(fbuf, tmp, out=x)
+        np.add(x, bbuf, out=x)
+        # Commit the whole group of every task.
+        out[out_idx] = symb
+        np.subtract(out_idx, K, out=out_idx)
 
 
 # ---------------------------------------------------------------------------
@@ -542,6 +586,7 @@ def fused_run_multi(
     segments: list[StreamSegment],
     arena: ScratchArena,
     out_dtype=None,
+    kernel: str = "numpy",
 ) -> MultiRunResult:
     """Decode many independent (words, tasks) segments as ONE kernel run.
 
@@ -583,5 +628,7 @@ def fused_run_multi(
     # Results escape to callers, so the output is a fresh allocation
     # (arena rule 2, DESIGN.md §9); segment views share this buffer.
     out = np.empty(total_symbols, dtype=out_dtype)
-    stats = fused_run(provider, lanes, words, tasks, out, arena)
+    stats = fused_run(
+        provider, lanes, words, tasks, out, arena, kernel=kernel
+    )
     return MultiRunResult(out=out, slices=out_slices, stats=stats)

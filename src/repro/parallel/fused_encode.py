@@ -41,6 +41,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import EncodeError, ModelError
+from repro.parallel import compiled
 from repro.parallel.buffers import ScratchArena
 from repro.rans.adaptive import AdaptiveModelProvider
 from repro.rans.constants import L_BOUND, RENORM_BITS, RENORM_MASK
@@ -96,6 +97,7 @@ def fused_encode_run(
     lanes: int,
     tasks: list[EncodeTask],
     arena: ScratchArena,
+    kernel: str = "numpy",
 ) -> list[EncodeTaskOut]:
     """Encode every task, bit-identical to the reference loop.
 
@@ -103,6 +105,12 @@ def fused_encode_run(
     the fused steady phase (full interleave groups present in every
     task), then each task finishes its remaining groups alone.  The
     caller owns ``arena`` (not thread-safe, DESIGN.md §9).
+
+    ``kernel="compiled"`` routes the sequential trajectory sweep — the
+    only data-dependent chain — through the compiled twin
+    (:mod:`repro.parallel.compiled`); gathers, word emission and event
+    reconstruction stay vectorized numpy either way.  Bit-identical,
+    silently numpy when no toolchain is available.
     """
     K = lanes
     T = len(tasks)
@@ -253,19 +261,23 @@ def fused_encode_run(
             # Eq. 3 threshold); inverted in bulk afterwards.
             X = X_f[: bg + 1]
             X[0] = xv
-            xprev = X[0]
-            for b_row, f_row, c_row, d_row, n_row, xnext in zip(
-                bb, fb, cb, db, need_f, X[1:]
-            ):
-                less(xprev, b_row, n_row)
-                right_shift(xprev, rb, xr)
-                copyto(xr, xprev, where=n_row)
-                floor_divide(xr, f_row, q)
-                multiply(q, c_row, tmp)
-                add(tmp, d_row, tmp)
-                add(xr, tmp, xnext)
-                xprev = xnext
-            xv[:] = xprev
+            ran_compiled = kernel == "compiled" and compiled.encode_sweep(
+                X, bb, fb, cb, db, need_f[:bg], RENORM_BITS
+            )
+            if not ran_compiled:
+                xprev = X[0]
+                for b_row, f_row, c_row, d_row, n_row, xnext in zip(
+                    bb, fb, cb, db, need_f, X[1:]
+                ):
+                    less(xprev, b_row, n_row)
+                    right_shift(xprev, rb, xr)
+                    copyto(xr, xprev, where=n_row)
+                    floor_divide(xr, f_row, q)
+                    multiply(q, c_row, tmp)
+                    add(tmp, d_row, tmp)
+                    add(xr, tmp, xnext)
+                    xprev = xnext
+            xv[:] = X[bg]
 
             # ---- bulk word emission + event recording --------------
             need = need_f[:bg]

@@ -181,7 +181,7 @@ def _strip_tracebacks(exc: BaseException, depth: int = 8) -> BaseException:
 def _worker_run_job(
     job: dict,
     providers: dict[bytes, AdaptiveModelProvider],
-    engines: dict[tuple[bytes, int], LaneEngine],
+    engines: dict[tuple[bytes, int, str], LaneEngine],
 ) -> tuple:
     """Execute one decode job against its shared-memory segments.
 
@@ -202,19 +202,22 @@ def _worker_run_job(
             if verdict == "raise":
                 raise FaultInjected("injected fault at worker.job")
             key = job["provider_key"]
+            kernel = job.get("kernel", "numpy")
             if key is None:
                 # Adaptive providers ship with every job (their
                 # per-index ids have no cheap content key) and are
                 # never cached — a stale id-keyed hit would silently
                 # decode with the wrong model.
-                engine = LaneEngine(job["provider"], job["lanes"])
+                engine = LaneEngine(job["provider"], job["lanes"], kernel=kernel)
             else:
                 if job["provider"] is not None:
                     providers[key] = job["provider"]
-                engine = engines.get((key, job["lanes"]))
+                engine = engines.get((key, job["lanes"], kernel))
                 if engine is None:
-                    engine = LaneEngine(providers[key], job["lanes"])
-                    engines[(key, job["lanes"])] = engine
+                    engine = LaneEngine(
+                        providers[key], job["lanes"], kernel=kernel
+                    )
+                    engines[(key, job["lanes"], kernel)] = engine
 
             if verdict == "attach":
                 raise OSError("injected fault at shm.attach")
@@ -271,7 +274,7 @@ def _worker_main(conn) -> None:
     against the same static model ship only task descriptors.
     """
     providers: dict[bytes, AdaptiveModelProvider] = {}
-    engines: dict[tuple[bytes, int], LaneEngine] = {}
+    engines: dict[tuple[bytes, int, str], LaneEngine] = {}
     while True:
         try:
             msg = conn.recv()
@@ -636,6 +639,7 @@ class ShardedExecutor:
         out_dtype,
         workers: int,
         strategy: str,
+        kernel: str = "numpy",
     ) -> tuple[np.ndarray, list[EngineStats]]:
         """Shard ``tasks``, run them in the pool, return (out, stats).
 
@@ -700,6 +704,7 @@ class ShardedExecutor:
                                 "num_symbols": num_symbols,
                                 "out_dtype": out_dtype.str,
                                 "tasks": bucket,
+                                "kernel": kernel,
                                 "fault": verdict,
                                 "trace": trace_on,
                             },
@@ -787,6 +792,7 @@ class ShardedExecutor:
         out_dtype,
         workers: int | None = None,
         strategy: str = "cost",
+        kernel: str = "numpy",
     ) -> PoolDecodeResult:
         """Decode ``tasks`` across shard processes.
 
@@ -798,6 +804,11 @@ class ShardedExecutor:
 
         :param workers: shards for this decode (default: pool size).
         :param strategy: ``"cost"`` (LPT) or ``"round_robin"``.
+        :param kernel: inner-loop kernel (``"numpy"`` or
+            ``"compiled"``) each worker's engine runs — callers must
+            pass an *effective* kernel
+            (:func:`repro.parallel.compiled.effective_kernel`); the
+            worker builds/loads the compiled library on first use.
         :returns: :class:`~repro.parallel.executor.PoolDecodeResult`
             with ``backend="process"``.
         :raises ParallelismError: pool closed/broken, worker crash, or
@@ -811,13 +822,14 @@ class ShardedExecutor:
             raise ParallelismError(f"workers must be >= 1, got {workers}")
         out, stats = self._dispatch(
             provider, lanes, words, tasks, num_symbols, out_dtype,
-            workers, strategy,
+            workers, strategy, kernel=kernel,
         )
         return PoolDecodeResult(
             symbols=out,
             per_worker_stats=stats,
             workers=len(stats),
             backend="process",
+            kernel=kernel,
         )
 
     def run_multi(
@@ -828,6 +840,7 @@ class ShardedExecutor:
         out_dtype=None,
         workers: int | None = None,
         strategy: str = "cost",
+        kernel: str = "numpy",
     ) -> MultiRunResult:
         """Sharded counterpart of :func:`repro.parallel.fused.fused_run_multi`.
 
@@ -854,7 +867,7 @@ class ShardedExecutor:
         words, tasks, slices, total = fuse_segments(segments)
         out, stats = self._dispatch(
             provider, lanes, words, tasks, total, out_dtype,
-            workers or self.workers, strategy,
+            workers or self.workers, strategy, kernel=kernel,
         )
         combined = combine_stats(stats)
         combined.tasks = len(tasks)

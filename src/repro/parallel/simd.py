@@ -95,9 +95,17 @@ class LaneEngine:
     :func:`~repro.parallel.executor.decode_with_pool` does).
     """
 
-    def __init__(self, provider: AdaptiveModelProvider, lanes: int) -> None:
+    def __init__(
+        self,
+        provider: AdaptiveModelProvider,
+        lanes: int,
+        kernel: str = "numpy",
+    ) -> None:
         self.provider = provider
         self.lanes = lanes
+        #: steady-loop implementation (``"numpy"`` or ``"compiled"``,
+        #: DESIGN.md §19); silently numpy when no toolchain is up.
+        self.kernel = kernel
         self._arena = None  # created lazily; see `arena`
 
     @property
@@ -125,7 +133,8 @@ class LaneEngine:
         from repro.parallel.fused import fused_run
 
         return fused_run(
-            self.provider, self.lanes, words, tasks, out, self.arena
+            self.provider, self.lanes, words, tasks, out, self.arena,
+            kernel=self.kernel,
         )
 
     # ------------------------------------------------------------------

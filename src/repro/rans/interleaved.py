@@ -118,7 +118,10 @@ class InterleavedEncoder:
         return self._arena
 
     def encode(
-        self, data: np.ndarray, record_events: bool = False
+        self,
+        data: np.ndarray,
+        record_events: bool = False,
+        kernel: str = "numpy",
     ) -> InterleavedEncodeResult:
         """Encode ``data`` (1-D integer array) into a single stream.
 
@@ -139,7 +142,8 @@ class InterleavedEncoder:
             raise EncodeError(f"data must be 1-D, got shape {data.shape}")
         task = EncodeTask(data, start_index=1, record_events=record_events)
         out = fused_encode_run(
-            self.provider, self.lanes, [task], self._get_arena()
+            self.provider, self.lanes, [task], self._get_arena(),
+            kernel=kernel,
         )[0]
         events = None
         if record_events:

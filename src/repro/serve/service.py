@@ -46,6 +46,7 @@ from repro.errors import (
     ParallelismError,
     ServeError,
 )
+from repro.parallel import compiled
 from repro.parallel.buffers import ScratchArena
 from repro.parallel.executor import decode_with_pool
 from repro.parallel.fused import MultiRunResult, fuse_segments, fused_run_multi
@@ -94,7 +95,12 @@ class ServiceConfig:
     #: ``"thread"`` — fan the batch across ``decode_workers`` OS
     #: threads; ``"process"`` — fan it across ``decode_workers`` shard
     #: processes (DESIGN.md §14; falls back to ``"thread"`` when
-    #: shared memory is unavailable).
+    #: shared memory is unavailable).  Any of them may carry a
+    #: ``"+compiled"`` suffix (bare ``"compiled"`` means
+    #: ``"fused+compiled"``) to run the compiled inner-loop kernel
+    #: (DESIGN.md §19); without a toolchain the service degrades to
+    #: the numpy kernel and reports it under
+    #: ``metrics_snapshot()["resilience"]["kernel"]``.
     decode_backend: str = "fused"
     #: worker count for the ``"thread"``/``"process"`` backends.
     decode_workers: int = 8
@@ -109,10 +115,17 @@ class ServiceConfig:
     close_timeout_s: float = 10.0
 
     def __post_init__(self) -> None:
-        if self.decode_backend not in DECODE_BACKENDS:
+        try:
+            pool, _ = compiled.split_backend(
+                self.decode_backend, default_pool="fused"
+            )
+        except ValueError:
+            pool = self.decode_backend  # bad "+" suffix → report below
+        if pool not in DECODE_BACKENDS:
             raise ServeError(
                 f"unknown decode backend {self.decode_backend!r}; "
-                f"expected one of {DECODE_BACKENDS}"
+                f"expected one of "
+                f"{compiled.backend_choices(DECODE_BACKENDS)}"
             )
         if self.decode_workers < 1:
             raise ServeError(
@@ -184,10 +197,20 @@ class RecoilService:
         # thread: forking from a single-threaded process is the only
         # portable-safe moment.  Unavailable shared memory degrades to
         # the thread backend (``decode_backend`` reports the truth).
-        self._backend = self.config.decode_backend
+        pool_backend, kernel = compiled.split_backend(
+            self.config.decode_backend, default_pool="fused"
+        )
+        self._backend = pool_backend
         #: what the operator asked for — ``decode_backend`` may differ
         #: after a degradation, and re-promotion aims back at this.
-        self._configured_backend = self.config.decode_backend
+        self._configured_backend = pool_backend
+        #: inner-loop kernel: requested vs what actually runs.  The
+        #: warm-up also front-loads the one-time compile (DESIGN.md
+        #: §19) so it never lands inside a request's timed path.
+        self._configured_kernel = kernel
+        self._kernel = (
+            compiled.warm_up() if kernel == "compiled" else "numpy"
+        )
         self._repromote_at = 0.0
         self._promote_fails = 0
         self._shards = None
@@ -222,6 +245,13 @@ class RecoilService:
         (self-healing) pool and promotes back to ``"process"`` when it
         answers — watch ``metrics_snapshot()["resilience"]``."""
         return self._backend
+
+    @property
+    def decode_kernel(self) -> str:
+        """Inner-loop kernel batches actually run (``"numpy"`` after a
+        graceful fallback from a ``"compiled"`` request on a host with
+        no compilation toolchain — DESIGN.md §19)."""
+        return self._kernel
 
     # -- lifecycle -----------------------------------------------------
 
@@ -588,6 +618,10 @@ class RecoilService:
             "configured": self._configured_backend,
             "effective": self._backend,
         }
+        snap["resilience"]["kernel"] = {
+            "configured": self._configured_kernel,
+            "effective": self._kernel,
+        }
         # Flat numerics: the resilience section is all-zero on a clean
         # run (tests rely on that); the degradation reason string lives
         # in snap["store"].
@@ -738,6 +772,7 @@ class RecoilService:
                 segments,
                 arena,
                 out_dtype=first.out_dtype,
+                kernel=self._kernel,
             )
         from repro.parallel.shards import combine_stats
 
@@ -750,7 +785,11 @@ class RecoilService:
             total,
             first.out_dtype,
             workers=self.config.decode_workers,
-            backend=self._backend,
+            backend=(
+                self._backend + "+compiled"
+                if self._kernel == "compiled"
+                else self._backend
+            ),
             executor=self._shards,
         )
         if (

@@ -135,6 +135,10 @@ class MultiansCodec:
         enc, table = self.parse(blob)
         if engine == "fused":
             return self.parallel_decode(enc, table, num_threads)
+        if engine == "compiled":
+            return self.parallel_decode(
+                enc, table, num_threads, kernel="compiled"
+            )
         if engine == "reference":
             return self.parallel_decode_reference(enc, table, num_threads)
         raise DecodeError(f"unknown engine {engine!r}")
@@ -153,10 +157,13 @@ class MultiansCodec:
         enc: TansEncodeResult,
         table: TansTable,
         num_threads: int,
+        kernel: str = "numpy",
     ) -> tuple[np.ndarray, MultiansStats]:
         """Fused wide-lane decode: one ``(P,)``-wide kernel pass plus
         the searchsorted stitch (:mod:`repro.tans.fused`).  The seed
-        loops are kept as :meth:`parallel_decode_reference`."""
+        loops are kept as :meth:`parallel_decode_reference`.
+        ``kernel="compiled"`` routes the speculative safe runs through
+        the compiled twin (bit-identical, DESIGN.md §19)."""
         N = enc.num_symbols
         if N == 0:
             return np.empty(0, dtype=np.int64), MultiansStats(
@@ -170,7 +177,7 @@ class MultiansCodec:
         payload = np.frombuffer(enc.payload, dtype=np.uint8)
         spec = fused_speculative_pass(
             table, payload, enc.bit_count, starts, ends,
-            enc.initial_state, N,
+            enc.initial_state, N, kernel=kernel,
         )
         out, overlaps, unsynced = fused_stitch(
             table, spec, enc.bit_count, N, enc.initial_state, starts, ends

@@ -5,8 +5,31 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.parallel import compiled
 from repro.rans.adaptive import StaticModelProvider
 from repro.rans.model import SymbolModel
+
+#: skip marker for tests that need a working compiled-kernel toolchain
+#: (numba or a C compiler) — CI's fallback leg runs with
+#: ``REPRO_COMPILED_TOOLCHAIN=none`` and must skip these cleanly.
+needs_compiled = pytest.mark.skipif(
+    not compiled.kernel_available(),
+    reason="no compiled-kernel toolchain (numba or cc) available",
+)
+
+#: inner-loop kernels to parametrize differential suites over.  Every
+#: test taking the ``kernel_backend`` fixture runs once per entry and
+#: must produce bit-identical streams/outputs on both.
+KERNELS = ["numpy", pytest.param("compiled", marks=needs_compiled)]
+
+
+@pytest.fixture(params=KERNELS)
+def kernel_backend(request) -> str:
+    """``"numpy"`` or ``"compiled"`` — with the compiled library
+    warmed up front so no test ever times a first-use build."""
+    if request.param == "compiled":
+        assert compiled.warm_up() == "compiled"
+    return request.param
 
 
 @pytest.fixture(scope="session")

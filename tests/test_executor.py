@@ -15,13 +15,23 @@ import pytest
 from repro.core.decoder import build_thread_tasks
 from repro.core.encoder import RecoilEncoder
 from repro.errors import ParallelismError
+from repro.parallel import compiled
 from repro.parallel.executor import decode_with_pool
 from repro.parallel.shards import sharding_available
+
+from conftest import needs_compiled
 
 needs_shm = pytest.mark.skipif(
     not sharding_available(), reason="no shared memory on this host"
 )
-BACKENDS = ["thread", pytest.param("process", marks=needs_shm)]
+BACKENDS = [
+    "thread",
+    pytest.param("process", marks=needs_shm),
+    pytest.param("thread+compiled", marks=needs_compiled),
+    pytest.param(
+        "process+compiled", marks=[needs_shm, needs_compiled]
+    ),
+]
 
 
 @pytest.fixture(scope="module")
@@ -54,7 +64,9 @@ class TestPoolDecode:
         )
         assert np.array_equal(res.symbols, skewed_bytes)
         assert res.workers == min(workers, len(tasks))
-        assert res.backend == backend
+        pool, kernel = compiled.split_backend(backend)
+        assert res.backend == pool
+        assert res.kernel == kernel
 
     def test_stats_cover_all_work(self, encoded, tasks, provider11, backend):
         res = decode_with_pool(

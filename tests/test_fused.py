@@ -68,7 +68,8 @@ class TestFusedVsReference:
     @pytest.mark.parametrize("threads", THREADS)
     @pytest.mark.parametrize("kind", ["static", "adaptive"])
     def test_recoil_tasks_bit_identical(
-        self, payload, adaptive_provider, lanes, threads, kind
+        self, payload, adaptive_provider, lanes, threads, kind,
+        kernel_backend,
     ):
         provider = _provider(kind, payload, adaptive_provider)
         enc = RecoilEncoder(provider, lanes=lanes).encode(
@@ -77,7 +78,7 @@ class TestFusedVsReference:
         tasks = build_thread_tasks(
             enc.metadata, len(enc.words), enc.final_states
         )
-        engine = LaneEngine(provider, lanes)
+        engine = LaneEngine(provider, lanes, kernel=kernel_backend)
         out_f = np.empty(enc.num_symbols, dtype=np.uint8)
         out_r = np.empty(enc.num_symbols, dtype=np.uint8)
         sf = engine.run(enc.words, tasks, out_f)
@@ -136,17 +137,21 @@ class TestPooledFused:
     @pytest.mark.parametrize("workers", THREADS)
     @pytest.mark.parametrize("strategy", ["cost", "round_robin"])
     def test_pool_matches_single_engine(
-        self, payload, workers, strategy
+        self, payload, workers, strategy, kernel_backend
     ):
         provider = _provider("static", payload, None)
         enc = RecoilEncoder(provider).encode(payload, num_threads=12)
         tasks = build_thread_tasks(
             enc.metadata, len(enc.words), enc.final_states
         )
+        backend = (
+            "thread+compiled" if kernel_backend == "compiled" else "thread"
+        )
         res = decode_with_pool(
             provider, 32, enc.words, tasks, enc.num_symbols,
-            np.uint8, workers, strategy=strategy,
+            np.uint8, workers, strategy=strategy, backend=backend,
         )
+        assert res.kernel == kernel_backend
         assert np.array_equal(res.symbols, payload)
         assert res.workers == min(workers, len(tasks))
 
@@ -186,7 +191,7 @@ class TestFusedEdgeCases:
         )
         assert np.array_equal(res.symbols, payload)
 
-    def test_partial_commit_window(self, payload):
+    def test_partial_commit_window(self, payload, kernel_backend):
         """Commit range strictly inside the walk: the steady window
         shrinks to the committed span, head/tail run masked."""
         provider = _provider("static", payload, None)
@@ -200,7 +205,7 @@ class TestFusedEdgeCases:
             initial_states=enc.final_states,
             check_terminal=False,
         )
-        engine = LaneEngine(provider, 32)
+        engine = LaneEngine(provider, 32, kernel=kernel_backend)
         out_f = np.zeros(enc.num_symbols, dtype=np.uint8)
         out_r = np.zeros(enc.num_symbols, dtype=np.uint8)
         sf = engine.run(enc.words, [task], out_f)

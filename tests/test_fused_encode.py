@@ -74,12 +74,16 @@ class TestFusedVsReference:
     @pytest.mark.parametrize("kind", ["static", "adaptive"])
     @pytest.mark.parametrize("record_events", [False, True])
     def test_bit_identical(
-        self, payload, adaptive_provider, lanes, kind, record_events
+        self, payload, adaptive_provider, lanes, kind, record_events,
+        kernel_backend,
     ):
         provider = _provider(kind, payload, adaptive_provider)
         enc = InterleavedEncoder(provider, lanes=lanes)
         _assert_encodes_equal(
-            enc.encode(payload, record_events=record_events),
+            enc.encode(
+                payload, record_events=record_events,
+                kernel=kernel_backend,
+            ),
             enc.encode_reference(payload, record_events=record_events),
         )
 
@@ -87,11 +91,13 @@ class TestFusedVsReference:
     @pytest.mark.parametrize(
         "n", [0, 1, 3, 31, 32, 33, 63, 64, 65, 1023, 4097]
     )
-    def test_edge_lengths(self, payload, lanes, n):
+    def test_edge_lengths(self, payload, lanes, n, kernel_backend):
         provider = _provider("static", payload, None)
         enc = InterleavedEncoder(provider, lanes=lanes)
         _assert_encodes_equal(
-            enc.encode(payload[:n], record_events=True),
+            enc.encode(
+                payload[:n], record_events=True, kernel=kernel_backend
+            ),
             enc.encode_reference(payload[:n], record_events=True),
         )
 
@@ -196,7 +202,7 @@ class TestMultiTaskFusion:
         out, _, _ = codec.decode(a)
         assert np.array_equal(out, payload)
 
-    def test_unequal_task_lengths(self, payload):
+    def test_unequal_task_lengths(self, payload, kernel_backend):
         """Tasks of very different sizes: short ones drain in the
         steady window, long ones continue through per-task tails."""
         provider = _provider("static", payload, None)
@@ -205,7 +211,8 @@ class TestMultiTaskFusion:
         tasks = [
             EncodeTask(payload[:sz], record_events=True) for sz in sizes
         ]
-        outs = fused_encode_run(provider, 32, tasks, arena)
+        outs = fused_encode_run(provider, 32, tasks, arena,
+                                kernel=kernel_backend)
         enc = InterleavedEncoder(provider, lanes=32)
         for sz, out in zip(sizes, outs):
             ref = enc.encode_reference(payload[:sz], record_events=True)

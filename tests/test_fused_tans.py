@@ -153,11 +153,16 @@ class TestExhaustedBitstream:
 
 class TestParallelDifferential:
     @pytest.mark.parametrize("threads", [1, 4, 16, 64, 256])
-    def test_bit_identity(self, codec, blob, skewed_bytes, threads):
+    def test_bit_identity(
+        self, codec, blob, skewed_bytes, threads, kernel_backend
+    ):
         """Fused vs reference: same symbols, same overlap stats, same
         unsynced count — across serial fallback (P=1), scalar-stitch
         widths (P<24) and wide-search widths (P>=24)."""
-        out_f, st_f = codec.decompress(blob, num_threads=threads)
+        engine = "fused" if kernel_backend == "numpy" else "compiled"
+        out_f, st_f = codec.decompress(
+            blob, num_threads=threads, engine=engine
+        )
         out_r, st_r = codec.decompress(
             blob, num_threads=threads, engine="reference"
         )
@@ -171,7 +176,7 @@ class TestParallelDifferential:
         with pytest.raises(DecodeError):
             codec.decompress(blob, num_threads=4, engine="gpu")
 
-    def test_forced_non_sync_chunks(self, skewed_bytes):
+    def test_forced_non_sync_chunks(self, skewed_bytes, kernel_backend):
         """A 2**15-state table on short chunks never synchronizes
         (the n=16 collapse driver): chunks are absorbed, output must
         still be exact and both paths must agree on how many."""
@@ -179,7 +184,8 @@ class TestParallelDifferential:
         table = TansTable.from_data(data, 15, alphabet_size=256)
         mc = MultiansCodec(table)
         blob = mc.compress(data)
-        out_f, st_f = mc.decompress(blob, num_threads=64)
+        engine = "fused" if kernel_backend == "numpy" else "compiled"
+        out_f, st_f = mc.decompress(blob, num_threads=64, engine=engine)
         out_r, st_r = mc.decompress(blob, num_threads=64, engine="reference")
         assert st_f.unsynced_threads > 0  # the premise of the test
         assert np.array_equal(out_f, data)
@@ -188,7 +194,8 @@ class TestParallelDifferential:
         assert st_f.unsynced_threads == st_r.unsynced_threads
 
     @pytest.mark.parametrize("n", [2400, 2473, 3000])
-    def test_ragged_trailing_chunks(self, skewed_bytes, n):
+    def test_ragged_trailing_chunks(self, skewed_bytes, n,
+                                   kernel_backend):
         """The chunk plan rounds the bit span up, so trailing chunk
         starts can lie past the stream end at high thread counts
         (e.g. 12k bits / 256 chunks).  Those parked lanes must not be
@@ -200,7 +207,8 @@ class TestParallelDifferential:
         enc, _ = mc.parse(blob)
         P, starts, _ = mc._plan_chunks(enc, 256)
         assert int(starts.max()) > enc.bit_count  # the premise
-        out_f, st_f = mc.decompress(blob, num_threads=256)
+        engine = "fused" if kernel_backend == "numpy" else "compiled"
+        out_f, st_f = mc.decompress(blob, num_threads=256, engine=engine)
         out_r, st_r = mc.decompress(blob, num_threads=256,
                                     engine="reference")
         assert np.array_equal(out_f, data)

@@ -28,6 +28,8 @@ from repro.rans.constants import L_BOUND
 from repro.rans.interleaved import InterleavedDecoder, InterleavedEncoder
 from repro.rans.model import SymbolModel
 
+from conftest import KERNELS
+
 _SETTINGS = dict(
     max_examples=25,
     deadline=None,
@@ -56,11 +58,13 @@ def _model_and_data(seed: int, length: int, quant_bits: int):
     splits=st.sampled_from([1, 2, 5, 16, 64]),
 )
 @settings(**_SETTINGS)
-def test_recoil_roundtrip_property(seed, length, quant_bits, splits):
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_recoil_roundtrip_property(seed, length, quant_bits, splits, kernel):
     model, data = _model_and_data(seed, length, quant_bits)
     enc = RecoilEncoder(model).encode(data, num_threads=splits)
+    engine = "fused" if kernel == "numpy" else "compiled"
     res = RecoilDecoder(model).decode(
-        enc.words, enc.final_states, enc.metadata
+        enc.words, enc.final_states, enc.metadata, engine=engine
     )
     assert np.array_equal(res.symbols, data.astype(res.symbols.dtype))
     # Lemma 3.1 on the chosen entries.

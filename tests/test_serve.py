@@ -504,6 +504,7 @@ class TestMetricsUnderConcurrency:
         # The resilience section exists and is all-zero on a clean run.
         res = dict(snap["resilience"])
         res.pop("backend")
+        res.pop("kernel")
         assert all(v == 0 for v in res.values()), res
 
 

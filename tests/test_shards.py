@@ -29,6 +29,8 @@ from repro.parallel.shards import (
 from repro.rans.adaptive import IndexedModelProvider, StaticModelProvider
 from repro.rans.model import SymbolModel
 
+from conftest import needs_compiled
+
 pytestmark = pytest.mark.skipif(
     not sharding_available(), reason="no shared memory on this host"
 )
@@ -57,7 +59,8 @@ class TestShardedDecode:
     @pytest.mark.parametrize("workers", [1, 2, 8])
     @pytest.mark.parametrize("combine", [7, 24])  # 7 => ragged plan
     def test_bit_identical_to_fused(
-        self, executor, encoded, provider11, skewed_bytes, workers, combine
+        self, executor, encoded, provider11, skewed_bytes, workers, combine,
+        kernel_backend,
     ):
         md = encoded.metadata.combine(combine)
         tasks = build_thread_tasks(
@@ -69,6 +72,7 @@ class TestShardedDecode:
         res = executor.decode(
             provider11, 32, encoded.words, tasks,
             encoded.num_symbols, np.uint8, workers=workers,
+            kernel=kernel_backend,
         )
         assert np.array_equal(res.symbols, reference.symbols)
         assert np.array_equal(res.symbols, skewed_bytes)
@@ -267,8 +271,17 @@ class TestLifecycle:
 
 
 class TestServeBackend:
-    @pytest.mark.parametrize("backend", ["thread", "process"])
+    @pytest.mark.parametrize(
+        "backend",
+        [
+            "thread",
+            "process",
+            pytest.param("thread+compiled", marks=needs_compiled),
+            pytest.param("process+compiled", marks=needs_compiled),
+        ],
+    )
     def test_service_round_trip(self, backend):
+        from repro.parallel import compiled
         from repro.serve import RecoilService, ServiceConfig
 
         r = np.random.default_rng(23)
@@ -276,12 +289,19 @@ class TestServeBackend:
             np.uint8
         )
         cfg = ServiceConfig(decode_backend=backend, decode_workers=4)
+        pool, kernel = compiled.split_backend(backend, default_pool="fused")
         with RecoilService(config=cfg) as svc:
-            assert svc.decode_backend == backend
+            assert svc.decode_backend == pool
+            assert svc.decode_kernel == kernel
             svc.put_asset("a", data, num_splits=64)
             requests = [svc.submit("a", c) for c in (1, 4, 16, 4, 1)]
             for req in requests:
                 assert np.array_equal(req.result(120), data)
+            snap = svc.metrics_snapshot()
+            assert snap["resilience"]["kernel"] == {
+                "configured": kernel,
+                "effective": kernel,
+            }
 
     def test_invalid_backend_config_rejected(self):
         from repro.serve import ServiceConfig
